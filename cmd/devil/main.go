@@ -1,0 +1,174 @@
+// Command devil runs a DeVIL program against an optional scripted event
+// stream and dumps relations and/or rendered output — a batch REPL for the
+// DVMS engine.
+//
+// Usage:
+//
+//	devil -program viz.devil -events drag.txt -dump selected,SPLOT_POINTS -ascii
+//	devil -program viz.devil -png out.png
+//
+// The events file holds one event per line:
+//
+//	down <t> <x> <y>
+//	move <t> <x> <y>
+//	up   <t> <x> <y>
+//	hover <t> <x> <y>
+//	key  <t> <key>
+//
+// Lines starting with '#' are comments.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	dvms "repro"
+)
+
+func main() {
+	var (
+		programPath = flag.String("program", "", "DeVIL program file (default: stdin)")
+		eventsPath  = flag.String("events", "", "scripted event stream file")
+		dump        = flag.String("dump", "", "comma-separated relations to print after the run")
+		pngPath     = flag.String("png", "", "write the framebuffer to this PNG file")
+		ascii       = flag.Bool("ascii", false, "print an ASCII rendering of the framebuffer")
+		query       = flag.String("query", "", "ad-hoc DeVIL query to run after the events")
+	)
+	flag.Parse()
+
+	if err := run(*programPath, *eventsPath, *dump, *pngPath, *ascii, *query); err != nil {
+		fmt.Fprintln(os.Stderr, "devil:", err)
+		os.Exit(1)
+	}
+}
+
+func run(programPath, eventsPath, dump, pngPath string, ascii bool, query string) error {
+	var program []byte
+	var err error
+	if programPath == "" {
+		program, err = io.ReadAll(os.Stdin)
+	} else {
+		program, err = os.ReadFile(programPath)
+	}
+	if err != nil {
+		return err
+	}
+
+	sys := dvms.New()
+	if err := sys.Load(string(program)); err != nil {
+		return fmt.Errorf("load program: %w", err)
+	}
+	for _, w := range sys.Warnings() {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+
+	if eventsPath != "" {
+		stream, err := readEvents(eventsPath)
+		if err != nil {
+			return err
+		}
+		txns, err := sys.FeedStream(stream)
+		if err != nil {
+			return fmt.Errorf("feed events: %w", err)
+		}
+		commits, aborts := 0, 0
+		for _, te := range txns {
+			if te.Committed {
+				commits++
+			}
+			if te.Aborted {
+				aborts++
+			}
+		}
+		fmt.Printf("fed %d events: %d interactions committed, %d aborted\n",
+			len(stream), commits, aborts)
+	}
+
+	if dump != "" {
+		for _, name := range strings.Split(dump, ",") {
+			name = strings.TrimSpace(name)
+			rel, err := sys.Relation(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("-- %s (%d rows) --\n%s\n", name, rel.Len(), rel)
+		}
+	}
+	if query != "" {
+		rel, err := sys.Query(query)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- query --\n%s\n", rel)
+	}
+	if pngPath != "" {
+		if err := sys.SavePNG(pngPath); err != nil {
+			return err
+		}
+		fmt.Println("wrote", pngPath)
+	}
+	if ascii {
+		fmt.Print(sys.ASCII(8, 12))
+	}
+	return nil
+}
+
+func readEvents(path string) (dvms.Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var stream dvms.Stream
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func() error {
+			return fmt.Errorf("%s:%d: malformed event line %q", path, lineNo, line)
+		}
+		if len(fields) < 3 {
+			return nil, bad()
+		}
+		t, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, bad()
+		}
+		switch strings.ToLower(fields[0]) {
+		case "down", "move", "up", "hover":
+			if len(fields) != 4 {
+				return nil, bad()
+			}
+			x, err1 := strconv.ParseInt(fields[2], 10, 64)
+			y, err2 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, bad()
+			}
+			switch strings.ToLower(fields[0]) {
+			case "down":
+				stream = append(stream, dvms.MouseDown(t, x, y))
+			case "move":
+				stream = append(stream, dvms.MouseMove(t, x, y))
+			case "up":
+				stream = append(stream, dvms.MouseUp(t, x, y))
+			case "hover":
+				stream = append(stream, dvms.Hover(t, x, y))
+			}
+		case "key":
+			stream = append(stream, dvms.KeyPress(t, fields[2]))
+		default:
+			return nil, bad()
+		}
+	}
+	return stream, sc.Err()
+}

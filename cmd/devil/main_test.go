@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testProgram = `
+CREATE TABLE Pts (id int, x float, y float);
+INSERT INTO Pts VALUES (1, 60, 60), (2, 140, 100);
+MARKS = SELECT 5 AS radius, 'red' AS fill, x AS center_x, y AS center_y, id FROM Pts;
+C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.t, D.x, D.y);
+hit = SELECT MK.id FROM C, MARKS@vnow-1 AS MK
+      WHERE in_rectangle(MK.center_x, MK.center_y, C.x - 20, C.y - 20, C.x + 20, C.y + 20);
+P = render(SELECT * FROM MARKS);
+`
+
+const testEvents = `
+# click near point 2
+down 0 145 105
+up 1 145 105
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadEvents(t *testing.T) {
+	path := writeTemp(t, "events.txt", testEvents+"\nmove 2 1 1\nhover 3 2 2\nkey 4 a\n")
+	stream, err := readEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != 5 {
+		t.Fatalf("events = %d", len(stream))
+	}
+	if stream[0].Type != "MOUSE_DOWN" || stream[0].T != 0 {
+		t.Fatalf("first event = %+v", stream[0])
+	}
+	if stream[4].Type != "KEY_PRESS" {
+		t.Fatalf("key event = %+v", stream[4])
+	}
+}
+
+func TestReadEventsErrors(t *testing.T) {
+	bad := []string{
+		"down 0 1",   // missing y
+		"zoom 0 1 2", // unknown verb
+		"down x 1 2", // bad timestamp
+		"down 0 a 2", // bad coordinate
+	}
+	for _, line := range bad {
+		path := writeTemp(t, "bad.txt", line)
+		if _, err := readEvents(path); err == nil {
+			t.Errorf("expected error for %q", line)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	prog := writeTemp(t, "viz.devil", testProgram)
+	events := writeTemp(t, "events.txt", testEvents)
+	png := filepath.Join(t.TempDir(), "out.png")
+	if err := run(prog, events, "hit", png, false, "SELECT count(*) AS n FROM Pts"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(png)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 100 {
+		t.Fatalf("png = %d bytes", len(data))
+	}
+}
+
+func TestRunBadProgram(t *testing.T) {
+	prog := writeTemp(t, "bad.devil", "SELECT FROM nothing")
+	if err := run(prog, "", "", "", false, ""); err == nil {
+		t.Fatal("bad program should error")
+	}
+}
+
+func TestRunMissingRelation(t *testing.T) {
+	prog := writeTemp(t, "viz.devil", testProgram)
+	if err := run(prog, "", "nonexistent", "", false, ""); err == nil {
+		t.Fatal("dumping a missing relation should error")
+	}
+}

@@ -1,0 +1,90 @@
+// Command dvms-bench regenerates the paper's tables and figures as text
+// series (see DESIGN.md §2 for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured comparisons).
+//
+// Usage:
+//
+//	dvms-bench -experiment all
+//	dvms-bench -experiment fig5 -participants 60
+//	dvms-bench -experiment fig1 -n 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cc"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment   = flag.String("experiment", "all", "one of: fig1 fig2 table1 deVIL4 fig5 fig5-trend fig6 fig7 stream a1 a2 e2e all")
+		n            = flag.Int("n", 2000, "workload size (rows/products/queries, experiment dependent)")
+		participants = flag.Int("participants", 40, "simulated participants for fig5")
+		seed         = flag.Int64("seed", 7, "workload seed")
+	)
+	flag.Parse()
+
+	if err := run(*experiment, *n, *participants, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dvms-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, n, participants int, seed int64) error {
+	print := func(r experiments.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s — %s ===\n%s\n", r.ID, r.Title, r.Output)
+		return nil
+	}
+	switch experiment {
+	case "fig1":
+		return print(experiments.Fig1Crossfilter(n, seed))
+	case "fig2":
+		return print(experiments.Fig2LinkedBrush(min(n, 500), seed))
+	case "table1":
+		return print(experiments.Table1())
+	case "deVIL4":
+		return print(experiments.DeVIL4TraceVsJoin(min(n, 500), 5, seed))
+	case "fig5":
+		return print(experiments.Fig5(cc.Threshold, participants, seed), nil)
+	case "fig5-trend":
+		return print(experiments.Fig5(cc.Trend, participants, seed), nil)
+	case "fig6":
+		return print(experiments.Fig6(n*10, seed))
+	case "fig7":
+		return print(experiments.Fig7(n*4, seed))
+	case "stream":
+		return print(experiments.StreamExperiment(600, seed))
+	case "a1":
+		return print(experiments.AblationIncremental(n, seed))
+	case "a2":
+		return print(experiments.AblationProvenance(min(n, 300), seed))
+	case "e2e":
+		return print(experiments.EndToEnd([]int{50, 200, 800, 2000}, seed))
+	case "all":
+		results, err := experiments.All()
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			if err := print(r, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

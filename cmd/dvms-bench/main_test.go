@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Small sizes keep this a smoke test; the full suite runs via
+	// -experiment all in CI-style usage.
+	cases := []struct {
+		experiment string
+		n          int
+	}{
+		{"table1", 10},
+		{"fig2", 40},
+		{"fig6", 300},
+		{"fig7", 300},
+		{"a1", 100},
+	}
+	for _, c := range cases {
+		if err := run(c.experiment, c.n, 5, 1); err != nil {
+			t.Errorf("experiment %s: %v", c.experiment, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", 10, 5, 1); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}

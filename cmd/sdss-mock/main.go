@@ -1,0 +1,65 @@
+// Command sdss-mock generates an SDSS SkyServer-style query log, mines its
+// transformation graph with the Precision Interfaces rule set (§3.4), and
+// synthesizes candidate interfaces (Figures 6 and 7).
+//
+// Usage:
+//
+//	sdss-mock -n 125600 -sample 5 -maxvis 6,20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/precision"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", workload.SDSSLogSize, "log size (paper sample: 125600)")
+		seed   = flag.Int64("seed", 7, "generator seed")
+		sample = flag.Int("sample", 5, "print this many sample queries")
+		maxvis = flag.String("maxvis", "6,20", "comma-separated visual-complexity budgets to synthesize")
+	)
+	flag.Parse()
+	if err := run(*n, *seed, *sample, *maxvis); err != nil {
+		fmt.Fprintln(os.Stderr, "sdss-mock:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed int64, sample int, maxvis string) error {
+	log := workload.SDSSLog(n, seed)
+	fmt.Printf("generated %d queries\n\nsample:\n", len(log))
+	for i := 0; i < sample && i < len(log); i++ {
+		fmt.Printf("  [%s] %s\n", log[i].Template, log[i].SQL)
+	}
+	total, byTemplate := workload.TemplateCoverage(log)
+	fmt.Printf("\ntemplate coverage: %.2f%% over %d templates (paper: >99.1%% over 6)\n",
+		total*100, len(byTemplate))
+	for name, share := range byTemplate {
+		fmt.Printf("  %-16s %5.1f%%\n", name, share*100)
+	}
+
+	g, err := precision.BuildGraphFromSessions(experiments.SessionsOf(log), precision.SDSSRules())
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n" + g.Format())
+
+	for _, part := range strings.Split(maxvis, ",") {
+		budget, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad -maxvis value %q", part)
+		}
+		ifc := precision.Synthesize(g, precision.SynthesisParams{MaxVis: budget, Penalty: 10})
+		fmt.Printf("synthesized interface (max_vis=%g):\n%s\n", budget,
+			ifc.Mockup(fmt.Sprintf("SkyServer — max_vis %g", budget)))
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run(2000, 1, 3, "6,20"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadBudget(t *testing.T) {
+	if err := run(500, 1, 0, "abc"); err == nil {
+		t.Fatal("bad -maxvis should error")
+	}
+}

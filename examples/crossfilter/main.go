@@ -1,0 +1,40 @@
+// Crossfilter: the paper's Figure 1 — a revenue breakdown over TPC-H-like
+// data with five linked group-by-sum charts and an interactive year-range
+// selection that crossfilters the others.
+//
+//	go run ./examples/crossfilter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	result, err := experiments.Fig1Crossfilter(2000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(result.Output)
+
+	// Show an individual interaction cycle too: select, inspect, undo.
+	eng, err := experiments.NewCrossfilterEngine(2000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.FeedStream(experiments.YearSelectionDrag()); err != nil {
+		log.Fatal(err)
+	}
+	sel, err := eng.Relation("selected_years")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interactive selection holds %d years:\n%s\n", sel.Len(), sel)
+	if err := eng.Undo(); err != nil {
+		log.Fatal(err)
+	}
+	sel, _ = eng.Relation("selected_years")
+	fmt.Printf("after undo the selection is empty again: %d years\n", sel.Len())
+}

@@ -1,0 +1,102 @@
+// Package cc reproduces the §3.2 study of concurrency-control policies for
+// interactive visualizations (Figures 4 and 5): an event-driven simulation
+// of participants completing judgment tasks under five reordering/design
+// policies and configurable response latency.
+//
+// The paper's qualitative findings, encoded here as behaviour models rather
+// than hard-coded outcomes:
+//
+//   - under NoCC and MostRecent users "serialize their own input — by
+//     hovering over a facet, waiting to see the visualization update, and
+//     then performing the next interaction";
+//   - under Serial and Discard the visualization updates in input order, so
+//     users pipeline requests (Discard drops out-of-order responses, forcing
+//     retry rounds);
+//   - under MVCC "users hover over a large number of facets to issue many
+//     requests, and wait for multiple visualizations to appear".
+package cc
+
+import "fmt"
+
+// Policy is a §3.2 reordering (concurrency-control) or visual-design policy.
+type Policy uint8
+
+// The five policies of Figure 5.
+const (
+	// NoCC applies responses as they arrive with no coordination (vanilla
+	// AJAX): out-of-order updates can misattribute charts to facets.
+	NoCC Policy = iota
+	// Serial fully serializes responses in request order (head-of-line
+	// blocking).
+	Serial
+	// Discard enforces in-order display by dropping out-of-order
+	// responses.
+	Discard
+	// MostRecent renders only the response to the latest request.
+	MostRecent
+	// MVCC is multi-visual concurrency control: each in-flight request gets
+	// its own copy of the chart (small multiples, Figure 4b).
+	MVCC
+)
+
+// Policies lists all five in the paper's presentation order.
+var Policies = []Policy{NoCC, Serial, Discard, MostRecent, MVCC}
+
+// String names the policy as in Figure 5.
+func (p Policy) String() string {
+	switch p {
+	case NoCC:
+		return "No CC"
+	case Serial:
+		return "Serial"
+	case Discard:
+		return "Discard"
+	case MostRecent:
+		return "Most Recent"
+	case MVCC:
+		return "MVCC"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy resolves a policy name (case-sensitive match on the Figure 5
+// labels, plus compact aliases).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "No CC", "nocc", "none":
+		return NoCC, nil
+	case "Serial", "serial":
+		return Serial, nil
+	case "Discard", "discard":
+		return Discard, nil
+	case "Most Recent", "mostrecent", "recent":
+		return MostRecent, nil
+	case "MVCC", "mvcc":
+		return MVCC, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+// Task is the judgment task participants perform.
+type Task uint8
+
+// Judgment tasks from the study design.
+const (
+	// Threshold: "identify whether a target bar ever exceeds a threshold
+	// value" — asynchrony-friendly, order does not matter.
+	Threshold Task = iota
+	// Trend: "identifying a trend over time" — requires updates in input
+	// order, perceptually harder; the paper found policy effects "more
+	// pronounced" here.
+	Trend
+)
+
+// String names the task.
+func (t Task) String() string {
+	if t == Trend {
+		return "trend"
+	}
+	return "threshold"
+}

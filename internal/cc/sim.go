@@ -1,0 +1,226 @@
+package cc
+
+import "math/rand"
+
+// Params configures one simulated participant run.
+type Params struct {
+	Policy Policy
+	Task   Task
+	// Facets is the number of interaction targets to inspect (the months
+	// of Figure 4); the task requires observing each at least once.
+	Facets int
+	// MeanDelayMs is the mean of the exponential response latency; 0 is
+	// the no-delay control condition.
+	MeanDelayMs float64
+	// User action costs in milliseconds; zero values take defaults
+	// (hover 500, read 700, verify 350, scan 120).
+	HoverMs, ReadMs, VerifyMs, ScanMs float64
+	Seed                              int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Facets == 0 {
+		p.Facets = 12
+	}
+	if p.HoverMs == 0 {
+		p.HoverMs = 500
+	}
+	if p.ReadMs == 0 {
+		p.ReadMs = 700
+	}
+	if p.VerifyMs == 0 {
+		p.VerifyMs = 350
+	}
+	if p.ScanMs == 0 {
+		p.ScanMs = 120
+	}
+	if p.Task == Trend {
+		// The harder task costs more per observation and more verification
+		// — the mechanism behind the paper's "effects more pronounced".
+		p.ReadMs *= 1.8
+		p.VerifyMs *= 2.0
+	}
+	return p
+}
+
+// Outcome summarizes one participant's simulated session.
+type Outcome struct {
+	CompletionMs float64
+	// Requests counts issued requests; Redundant counts re-issues caused
+	// by the policy (Discard drops out-of-order responses).
+	Requests  int
+	Redundant int
+	// MaxInflight is the peak number of concurrent outstanding requests —
+	// the paper's measure of how "concurrency-friendly" user behaviour
+	// becomes under each policy.
+	MaxInflight int
+}
+
+// Simulate runs one participant through the task under the policy on a
+// virtual clock. Deterministic for a given seed.
+//
+// The participant is a greedy scheduler over three actions: read an
+// observable update, otherwise hover the next facet (issuing its request),
+// otherwise wait for the next update to become observable. Policies differ
+// ONLY in when updates become observable:
+//
+//   - NoCC / MostRecent: the user self-serializes (one outstanding request;
+//     the paper observed exactly this behaviour), and each read carries a
+//     verification cost under delay because unordered (NoCC) or
+//     last-only (MostRecent) rendering forces them to confirm attribution;
+//   - Serial: responses render in request order — a straggler blocks
+//     everything behind it (head-of-line blocking);
+//   - Discard: in-order rendering by dropping late out-of-order responses;
+//     dropped facets must be re-hovered;
+//   - MVCC: every response materializes its own small multiple (Figure 4b),
+//     observable the moment it arrives, at a small per-chart visual-scan
+//     cost (which is why MVCC is slightly slower with zero delay).
+func Simulate(p Params) Outcome {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	latency := func() float64 {
+		if p.MeanDelayMs <= 0 {
+			return 0
+		}
+		return rng.ExpFloat64() * p.MeanDelayMs
+	}
+	if p.Policy == NoCC || p.Policy == MostRecent {
+		return simulateSelfSerialized(p, latency)
+	}
+	return simulatePipelined(p, latency)
+}
+
+// simulateSelfSerialized: hover, wait for the render, verify attribution
+// (only needed when the interface actually lags), read, repeat.
+func simulateSelfSerialized(p Params, latency func() float64) Outcome {
+	clock := 0.0
+	out := Outcome{MaxInflight: 1}
+	for f := 0; f < p.Facets; f++ {
+		clock += p.HoverMs
+		out.Requests++
+		l := latency()
+		clock += l
+		if p.MeanDelayMs > 0 {
+			clock += p.VerifyMs
+		}
+		clock += p.ReadMs
+	}
+	out.CompletionMs = clock
+	return out
+}
+
+// pendingResp is one in-flight request in the pipelined simulation.
+type pendingResp struct {
+	facet   int
+	reqIdx  int // global request order index (for Serial/Discard ordering)
+	arrival float64
+}
+
+// simulatePipelined runs the greedy user schedule for Serial, Discard, and
+// MVCC.
+func simulatePipelined(p Params, latency func() float64) Outcome {
+	var out Outcome
+	clock := 0.0
+	toHover := make([]int, p.Facets)
+	for i := range toHover {
+		toHover[i] = i
+	}
+	var inflight []pendingResp
+	observed := make([]bool, p.Facets)
+	nObserved := 0
+	reqIdx := 0
+
+	// Reading cost. MVCC always pays the small-multiple visual-scan cost
+	// (locating the newly materialized chart) but never a verification
+	// cost: the multiples persist and are spatially separated, so
+	// attribution is free. Serial and Discard share a single mutating
+	// chart: under latency the user must confirm which facet the chart
+	// currently reflects on every update, the same attribution burden the
+	// self-serialized policies pay.
+	readCost := p.ReadMs
+	switch p.Policy {
+	case MVCC:
+		readCost += p.ScanMs
+	default:
+		if p.MeanDelayMs > 0 {
+			readCost += p.VerifyMs
+		}
+	}
+
+	// nextObservable returns the inflight index observable next and the
+	// time it becomes observable, or -1.
+	//
+	// Serial: only the lowest outstanding request index renders next, at
+	// its own arrival — a straggler blocks later responses that already
+	// arrived (head-of-line blocking).
+	// Discard and MVCC: the earliest arrival renders next; under Discard,
+	// rendering it dooms every outstanding earlier request (their responses
+	// are now out of order and will be dropped on arrival).
+	nextObservable := func() (int, float64) {
+		best := -1
+		for i, r := range inflight {
+			switch p.Policy {
+			case Serial:
+				if best < 0 || r.reqIdx < inflight[best].reqIdx {
+					best = i
+				}
+			default:
+				if best < 0 || r.arrival < inflight[best].arrival {
+					best = i
+				}
+			}
+		}
+		if best < 0 {
+			return -1, 0
+		}
+		return best, inflight[best].arrival
+	}
+
+	for nObserved < p.Facets {
+		obs, obsAt := nextObservable()
+		switch {
+		case obs >= 0 && obsAt <= clock:
+			r := inflight[obs]
+			inflight = append(inflight[:obs], inflight[obs+1:]...)
+			if p.Policy == Discard {
+				// Outstanding responses with a lower request index are now
+				// out of order: the client will drop them, so the user
+				// must re-hover those facets later.
+				kept := inflight[:0]
+				for _, o := range inflight {
+					if o.reqIdx < r.reqIdx {
+						out.Redundant++
+						toHover = append(toHover, o.facet)
+						continue
+					}
+					kept = append(kept, o)
+				}
+				inflight = kept
+			}
+			clock += readCost
+			if !observed[r.facet] {
+				observed[r.facet] = true
+				nObserved++
+			}
+		case len(toHover) > 0:
+			f := toHover[0]
+			toHover = toHover[1:]
+			clock += p.HoverMs
+			inflight = append(inflight, pendingResp{facet: f, reqIdx: reqIdx, arrival: clock + latency()})
+			reqIdx++
+			out.Requests++
+			if len(inflight) > out.MaxInflight {
+				out.MaxInflight = len(inflight)
+			}
+		case obs >= 0:
+			clock = obsAt // idle until the next update renders
+		default:
+			// nothing inflight and nothing to hover but facets unobserved:
+			// cannot happen, but guard against infinite loops
+			out.CompletionMs = clock
+			return out
+		}
+	}
+	out.CompletionMs = clock
+	return out
+}

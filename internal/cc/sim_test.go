@@ -1,0 +1,167 @@
+package cc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPolicyStringAndParse(t *testing.T) {
+	for _, p := range Policies {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy should error")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := Params{Policy: Serial, MeanDelayMs: 2500, Seed: 7}
+	a := Simulate(p)
+	b := Simulate(p)
+	if a != b {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestZeroDelayPoliciesAreClose(t *testing.T) {
+	// Figure 5: "each of the above policies have little difference when
+	// there is no response delay (in fact, MVCC is slightly slower)".
+	times := map[Policy]float64{}
+	for _, pol := range Policies {
+		var sum float64
+		for seed := int64(0); seed < 10; seed++ {
+			sum += Simulate(Params{Policy: pol, MeanDelayMs: 0, Seed: seed}).CompletionMs
+		}
+		times[pol] = sum / 10
+	}
+	// All within 2x of each other.
+	lo, hi := math.Inf(1), 0.0
+	for _, v := range times {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi/lo > 2 {
+		t.Fatalf("zero-delay spread too wide: %v", times)
+	}
+	// MVCC slightly slower than Serial at zero delay.
+	if times[MVCC] <= times[Serial] {
+		t.Fatalf("MVCC (%.0f) should be slightly slower than Serial (%.0f) at zero delay",
+			times[MVCC], times[Serial])
+	}
+}
+
+func TestDelayedOrderingMatchesFigure5(t *testing.T) {
+	// Figure 5 at mean 2.5 s delay: NoCC and MostRecent take the most
+	// time; Serial and Discard are clearly faster; MVCC is fastest.
+	mean := func(pol Policy) float64 {
+		var sum float64
+		for seed := int64(0); seed < 30; seed++ {
+			sum += Simulate(Params{Policy: pol, MeanDelayMs: 2500, Seed: seed}).CompletionMs
+		}
+		return sum / 30
+	}
+	noCC, serial, discard, recent, mvcc := mean(NoCC), mean(Serial), mean(Discard), mean(MostRecent), mean(MVCC)
+	if !(mvcc < serial && mvcc < discard) {
+		t.Fatalf("MVCC should be fastest: mvcc=%.0f serial=%.0f discard=%.0f", mvcc, serial, discard)
+	}
+	if !(serial < noCC && serial < recent) {
+		t.Fatalf("Serial should beat NoCC/MostRecent: serial=%.0f nocc=%.0f recent=%.0f", serial, noCC, recent)
+	}
+	if !(discard < noCC && discard < recent) {
+		t.Fatalf("Discard should beat NoCC/MostRecent: discard=%.0f nocc=%.0f recent=%.0f", discard, noCC, recent)
+	}
+	// The worst pair is well separated from the middle pair.
+	if noCC < 1.3*serial {
+		t.Fatalf("NoCC (%.0f) should be clearly slower than Serial (%.0f)", noCC, serial)
+	}
+}
+
+func TestConcurrencyFriendlyPoliciesPipeline(t *testing.T) {
+	// "concurrency-friendly policies allow users to generate more and make
+	// use of concurrent requests": MaxInflight is 1 under self-serialized
+	// policies and = facets under the pipelined ones.
+	for _, pol := range []Policy{NoCC, MostRecent} {
+		out := Simulate(Params{Policy: pol, MeanDelayMs: 2500, Seed: 3})
+		if out.MaxInflight != 1 {
+			t.Errorf("%v inflight = %d, want 1", pol, out.MaxInflight)
+		}
+	}
+	for _, pol := range []Policy{Serial, Discard, MVCC} {
+		out := Simulate(Params{Policy: pol, MeanDelayMs: 2500, Seed: 3})
+		if out.MaxInflight <= 3 {
+			t.Errorf("%v inflight = %d, want pipelined (> 3)", pol, out.MaxInflight)
+		}
+	}
+}
+
+func TestDiscardRetriesDroppedFacets(t *testing.T) {
+	out := Simulate(Params{Policy: Discard, MeanDelayMs: 2500, Seed: 5})
+	if out.Redundant == 0 {
+		t.Fatal("Discard under delay should drop and re-issue some requests")
+	}
+	if out.Requests != 12+out.Redundant {
+		t.Fatalf("requests = %d, redundant = %d", out.Requests, out.Redundant)
+	}
+	// No drops without delay (responses arrive in order instantly).
+	out0 := Simulate(Params{Policy: Discard, MeanDelayMs: 0, Seed: 5})
+	if out0.Redundant != 0 {
+		t.Fatalf("zero-delay Discard should not drop, redundant = %d", out0.Redundant)
+	}
+}
+
+func TestTrendTaskAmplifiesEffects(t *testing.T) {
+	// "We have run this experiment on a perceptually more difficult
+	// judgment task and found these effects to be more pronounced."
+	gap := func(task Task) float64 {
+		m := func(pol Policy) float64 {
+			var sum float64
+			for seed := int64(0); seed < 20; seed++ {
+				sum += Simulate(Params{Policy: pol, Task: task, MeanDelayMs: 2500, Seed: seed}).CompletionMs
+			}
+			return sum / 20
+		}
+		return m(NoCC) - m(MVCC)
+	}
+	if gap(Trend) <= gap(Threshold) {
+		t.Fatalf("trend gap (%.0f) should exceed threshold gap (%.0f)", gap(Trend), gap(Threshold))
+	}
+}
+
+func TestRunStudyShape(t *testing.T) {
+	s := RunStudy(StudyParams{Participants: 10, Seed: 1})
+	if len(s.Cells) != len(Policies)*2 {
+		t.Fatalf("cells = %d", len(s.Cells))
+	}
+	for _, c := range s.Cells {
+		if c.MeanMs <= 0 || c.StdMs < 0 {
+			t.Fatalf("degenerate cell %+v", c)
+		}
+	}
+	// Ranking under delay puts MVCC first and NoCC/MostRecent last.
+	rank := s.Ranking(2500)
+	if rank[0] != MVCC {
+		t.Fatalf("delay ranking = %v, want MVCC first", rank)
+	}
+	last2 := map[Policy]bool{rank[3]: true, rank[4]: true}
+	if !last2[NoCC] || !last2[MostRecent] {
+		t.Fatalf("delay ranking = %v, want NoCC and MostRecent last", rank)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "MVCC") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestStudyCellLookup(t *testing.T) {
+	s := RunStudy(StudyParams{Participants: 5, Seed: 2})
+	if _, ok := s.Cell(MVCC, 2500); !ok {
+		t.Fatal("cell lookup failed")
+	}
+	if _, ok := s.Cell(MVCC, 999); ok {
+		t.Fatal("missing cell should not be found")
+	}
+}

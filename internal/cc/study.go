@@ -1,0 +1,179 @@
+package cc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// StudyParams configures a full Figure 5 reproduction: a panel of simulated
+// participants run every policy under every delay condition.
+type StudyParams struct {
+	Participants int // default 40
+	Facets       int
+	Task         Task
+	DelaysMs     []float64 // default {0, 2500}, the paper's two conditions
+	Seed         int64
+}
+
+func (s StudyParams) withDefaults() StudyParams {
+	if s.Participants == 0 {
+		s.Participants = 40
+	}
+	if s.Facets == 0 {
+		s.Facets = 12
+	}
+	if len(s.DelaysMs) == 0 {
+		s.DelaysMs = []float64{0, 2500}
+	}
+	return s
+}
+
+// Cell is one (policy, delay) aggregate of the study.
+type Cell struct {
+	Policy       Policy
+	DelayMs      float64
+	MeanMs       float64
+	StdMs        float64
+	MeanRequests float64
+	MeanInflight float64
+}
+
+// Study is the full result grid, Figure 5's data.
+type Study struct {
+	Params StudyParams
+	Cells  []Cell
+}
+
+// RunStudy simulates the panel. Participant-level variation enters through
+// per-participant action-cost jitter and independent latency draws.
+func RunStudy(sp StudyParams) Study {
+	sp = sp.withDefaults()
+	rng := rand.New(rand.NewSource(sp.Seed))
+	// Pre-draw participant profiles so every (policy, delay) cell sees the
+	// same population, as a within-subjects study would.
+	type profile struct {
+		hover, read, verify, scan float64
+		seed                      int64
+	}
+	profiles := make([]profile, sp.Participants)
+	for i := range profiles {
+		profiles[i] = profile{
+			hover:  jitter(rng, 500, 80),
+			read:   jitter(rng, 700, 120),
+			verify: jitter(rng, 350, 60),
+			scan:   jitter(rng, 120, 30),
+			seed:   rng.Int63(),
+		}
+	}
+	var cells []Cell
+	for _, delay := range sp.DelaysMs {
+		for _, pol := range Policies {
+			var times []float64
+			var reqs, inflight float64
+			for i, prof := range profiles {
+				out := Simulate(Params{
+					Policy:      pol,
+					Task:        sp.Task,
+					Facets:      sp.Facets,
+					MeanDelayMs: delay,
+					HoverMs:     prof.hover,
+					ReadMs:      prof.read,
+					VerifyMs:    prof.verify,
+					ScanMs:      prof.scan,
+					Seed:        prof.seed + int64(i) + int64(pol)*7919 + int64(delay),
+				})
+				times = append(times, out.CompletionMs)
+				reqs += float64(out.Requests)
+				inflight += float64(out.MaxInflight)
+			}
+			mean, std := meanStd(times)
+			cells = append(cells, Cell{
+				Policy:       pol,
+				DelayMs:      delay,
+				MeanMs:       mean,
+				StdMs:        std,
+				MeanRequests: reqs / float64(len(profiles)),
+				MeanInflight: inflight / float64(len(profiles)),
+			})
+		}
+	}
+	return Study{Params: sp, Cells: cells}
+}
+
+func jitter(rng *rand.Rand, mean, std float64) float64 {
+	v := mean + rng.NormFloat64()*std
+	if v < mean/2 {
+		v = mean / 2
+	}
+	return v
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}
+
+// Cell returns the aggregate for a (policy, delay) pair.
+func (s Study) Cell(p Policy, delayMs float64) (Cell, bool) {
+	for _, c := range s.Cells {
+		if c.Policy == p && c.DelayMs == delayMs {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// Format renders the study as the Figure 5 table: one row per policy, one
+// column per delay condition, mean completion time in seconds.
+func (s Study) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — average completion time of %s task (n=%d, facets=%d)\n",
+		s.Params.Task, s.Params.Participants, s.Params.Facets)
+	fmt.Fprintf(&b, "%-12s", "policy")
+	for _, d := range s.Params.DelaysMs {
+		fmt.Fprintf(&b, "  %14s", fmt.Sprintf("delay=%.1fs", d/1000))
+	}
+	b.WriteString("\n")
+	for _, p := range Policies {
+		fmt.Fprintf(&b, "%-12s", p)
+		for _, d := range s.Params.DelaysMs {
+			c, _ := s.Cell(p, d)
+			fmt.Fprintf(&b, "  %9.1fs±%.1f", c.MeanMs/1000, c.StdMs/1000)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Ranking returns the policies ordered fastest-first at a delay condition.
+func (s Study) Ranking(delayMs float64) []Policy {
+	type pc struct {
+		p Policy
+		m float64
+	}
+	var list []pc
+	for _, p := range Policies {
+		c, _ := s.Cell(p, delayMs)
+		list = append(list, pc{p, c.MeanMs})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].m < list[j].m })
+	out := make([]Policy, len(list))
+	for i, x := range list {
+		out[i] = x.p
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/render"
+)
+
+// Axes and labels are plain marks relations too (§2.1.1: "Similar selection
+// queries and render functions can be used to define the static
+// visualizations of the histogram and axes"). This test builds a chart with
+// line-mark axes and text-mark labels through DeVIL alone.
+func TestAxesAndLabelsAsMarks(t *testing.T) {
+	e := New(Config{Width: 300, Height: 200})
+	if err := e.LoadProgram(`
+CREATE TABLE Data (id int, v float);
+INSERT INTO Data VALUES (1, 40), (2, 90), (3, 140);
+
+AXES = SELECT 20 AS x1, 180 AS y1, 280 AS x2, 180 AS y2, 'black' AS stroke
+       UNION ALL
+       SELECT 20 AS x1, 20 AS y1, 20 AS x2, 180 AS y2, 'black' AS stroke;
+
+LABELS = SELECT 10 AS x, 8 AS y, 'Y' AS text, 'black' AS fill
+         UNION ALL
+         SELECT 270 AS x, 188 AS y, 'X' AS text, 'black' AS fill;
+
+BARS = SELECT id * 60 AS x, 180 - v AS y, 30 AS width, v AS height, 'steelblue' AS fill
+       FROM Data;
+
+P1 = render(SELECT * FROM AXES, 'line');
+P2 = render(SELECT * FROM BARS, 'rect');
+P3 = render(SELECT * FROM LABELS, 'text');
+`); err != nil {
+		t.Fatal(err)
+	}
+	img := e.Image()
+	// axis pixels
+	if img.At(150, 180) != (render.RGBA{R: 0, G: 0, B: 0, A: 255}) {
+		t.Fatalf("x-axis pixel = %+v", img.At(150, 180))
+	}
+	if img.At(20, 100) != (render.RGBA{R: 0, G: 0, B: 0, A: 255}) {
+		t.Fatalf("y-axis pixel = %+v", img.At(20, 100))
+	}
+	// a bar pixel
+	bar := img.At(75, 160)
+	if bar.B < 100 {
+		t.Fatalf("bar pixel = %+v", bar)
+	}
+	// labels produced some ink near their anchors
+	label := false
+	for x := 8; x < 18; x++ {
+		for y := 6; y < 16; y++ {
+			if img.At(x, y) != (render.RGBA{R: 255, G: 255, B: 255, A: 255}) {
+				label = true
+			}
+		}
+	}
+	if !label {
+		t.Fatal("label text did not render")
+	}
+	// render sinks stack in definition order: bars paint over the axis
+	// where they overlap, text on top of everything.
+	if e.Stats.RenderPasses == 0 {
+		t.Fatal("no render pass recorded")
+	}
+}
+
+// MaxHistory bounds the committed version chain through the engine config.
+func TestEngineMaxHistory(t *testing.T) {
+	e := New(Config{MaxHistory: 3})
+	if err := e.LoadProgram(`
+CREATE TABLE T (v int);
+INSERT INTO T VALUES (0);
+`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := e.Exec("INSERT INTO T VALUES (1)"); err != nil {
+			t.Fatal(err)
+		}
+		e.Commit()
+	}
+	if got := e.Store().Versions(); got != 3 {
+		t.Fatalf("retained versions = %d, want 3", got)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/parser"
+)
+
+// MergeFunc rewrites the RETURN groups of a sequential composition, the
+// paper's merge(I1, I2) → Icombined (§2.1.2 "Composition of Interactions").
+// It receives I1's groups and I2's alias-renamed groups and returns the
+// combined statement's groups; the default merge concatenates them, which
+// requires union-compatible arities.
+type MergeFunc func(g1, g2 [][]parser.SelectItem) ([][]parser.SelectItem, error)
+
+// DefaultMerge concatenates both interactions' RETURN groups.
+func DefaultMerge(g1, g2 [][]parser.SelectItem) ([][]parser.SelectItem, error) {
+	if len(g1) > 0 && len(g2) > 0 && len(g1[0]) != len(g2[0]) {
+		return nil, fmt.Errorf(
+			"interactions have incompatible RETURN arities (%d vs %d); supply an explicit merge function",
+			len(g1[0]), len(g2[0]))
+	}
+	return append(append([][]parser.SelectItem{}, g1...), g2...), nil
+}
+
+// ComposeSequential builds the sequential composition I1 + I2: the combined
+// pattern matches I1's event sequence followed by I2's. Alias collisions in
+// I2 are renamed (suffix "_2") and all of I2's predicates and projections
+// are rewritten accordingly — I2's statements retain read access to I1's
+// bindings, the paper's requirement for e.g. brush-then-drag.
+func ComposeSequential(name string, i1, i2 *parser.EventStmt, merge MergeFunc) (*parser.EventStmt, error) {
+	if merge == nil {
+		merge = DefaultMerge
+	}
+	used := map[string]bool{}
+	for _, el := range i1.Seq {
+		used[strings.ToLower(el.Alias)] = true
+	}
+	rename := map[string]string{}
+	var seq []parser.SeqElem
+	seq = append(seq, i1.Seq...)
+	for _, el := range i2.Seq {
+		alias := el.Alias
+		if used[strings.ToLower(alias)] {
+			alias = alias + "_2"
+			for used[strings.ToLower(alias)] {
+				alias += "_2"
+			}
+			rename[strings.ToLower(el.Alias)] = alias
+		}
+		used[strings.ToLower(alias)] = true
+		seq = append(seq, parser.SeqElem{Type: el.Type, Alias: alias, Kleene: el.Kleene})
+	}
+
+	renameExpr := func(e expr.Expr) expr.Expr {
+		if e == nil {
+			return nil
+		}
+		return expr.Transform(e, func(x expr.Expr) expr.Expr {
+			if c, ok := x.(*expr.Column); ok {
+				if to, hit := rename[strings.ToLower(c.Qualifier)]; hit {
+					return &expr.Column{Qualifier: to, Name: c.Name}
+				}
+			}
+			return x
+		})
+	}
+
+	var filters []parser.EventPred
+	filters = append(filters, i1.Filters...)
+	for _, f := range i2.Filters {
+		nf := parser.EventPred{Quant: f.Quant, Var: f.Var, Over: f.Over, Cond: renameExpr(f.Cond)}
+		if to, hit := rename[strings.ToLower(f.Over)]; hit {
+			nf.Over = to
+		}
+		filters = append(filters, nf)
+	}
+
+	renameGroups := func(groups [][]parser.SelectItem) [][]parser.SelectItem {
+		out := make([][]parser.SelectItem, len(groups))
+		for g, group := range groups {
+			items := make([]parser.SelectItem, len(group))
+			for i, it := range group {
+				items[i] = parser.SelectItem{Expr: renameExpr(it.Expr), Alias: it.Alias, Star: it.Star, StarQualifier: it.StarQualifier}
+			}
+			out[g] = items
+		}
+		return out
+	}
+	ret, err := merge(i1.Return, renameGroups(i2.Return))
+	if err != nil {
+		return nil, err
+	}
+	return &parser.EventStmt{Name: name, Seq: seq, Filters: filters, Return: ret}, nil
+}
+
+// AnalyzeComposition reports potential conflicts between two interactions,
+// the static-analysis direction of §2.1.2: shared starting event types make
+// the pair ambiguous, and overlapping alphabets mean interleaved input can
+// feed both NFAs.
+func AnalyzeComposition(i1, i2 *parser.EventStmt) []string {
+	var warnings []string
+	if len(i1.Seq) > 0 && len(i2.Seq) > 0 && i1.Seq[0].Type == i2.Seq[0].Type {
+		warnings = append(warnings, fmt.Sprintf(
+			"%s and %s both start on %s: ambiguous dispatch; partition by space/time or assign priorities",
+			i1.Name, i2.Name, i1.Seq[0].Type))
+	}
+	alphabet := map[string]bool{}
+	for _, el := range i1.Seq {
+		alphabet[el.Type] = true
+	}
+	for _, el := range i2.Seq {
+		if alphabet[el.Type] {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s and %s share event type %s: interleaved input affects both interactions",
+				i1.Name, i2.Name, el.Type))
+			break
+		}
+	}
+	return warnings
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/expr"
+	"repro/internal/parser"
+)
+
+func parseEvent(t *testing.T, src string) *parser.EventStmt {
+	t.Helper()
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmts[0].(*parser.EventStmt)
+}
+
+func TestComposeSequentialBrushThenDrag(t *testing.T) {
+	brush := parseEvent(t, `I1 = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+		RETURN (D.t, D.x, D.y)`)
+	drag := parseEvent(t, `I2 = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+		RETURN (M.t, M.x, M.y)`)
+	combined, err := ComposeSequential("I12", brush, drag, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Name != "I12" || len(combined.Seq) != 6 {
+		t.Fatalf("combined = %+v", combined)
+	}
+	// I2's aliases were renamed to avoid collisions.
+	if combined.Seq[3].Alias == "D" {
+		t.Fatalf("alias collision not renamed: %+v", combined.Seq)
+	}
+	// The combined statement compiles into a working recognizer.
+	rec, err := events.Compile(combined, expr.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var committed bool
+	stream := append(events.Drag(0, 0, 10, 20, 30, 2), events.Drag(10, 20, 30, 40, 50, 2)...)
+	for _, ev := range stream {
+		acts, err := rec.Feed(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acts.Committed {
+			committed = true
+		}
+	}
+	if !committed {
+		t.Fatal("two sequential drags should complete the composed interaction")
+	}
+}
+
+func TestComposeRenamesPredicatesAndReturns(t *testing.T) {
+	i1 := parseEvent(t, `I1 = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.x)`)
+	i2 := parseEvent(t, `I2 = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U WHERE D.y > 5 RETURN (D.x)`)
+	combined, err := ComposeSequential("I12", i1, i2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I2's filter must now reference the renamed alias.
+	found := false
+	for _, f := range combined.Filters {
+		if strings.Contains(f.Cond.String(), "D_2.y") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("filters not renamed: %+v", combined.Filters)
+	}
+	// Second return group references renamed alias too.
+	if !strings.Contains(combined.Return[1][0].Expr.String(), "D_2.x") {
+		t.Fatalf("return group not renamed: %s", combined.Return[1][0].Expr.String())
+	}
+}
+
+func TestComposeIncompatibleAritiesNeedExplicitMerge(t *testing.T) {
+	i1 := parseEvent(t, `I1 = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.x)`)
+	i2 := parseEvent(t, `I2 = EVENT KEY_PRESS AS K, MOUSE_UP AS U RETURN (K.t, K.key)`)
+	if _, err := ComposeSequential("I12", i1, i2, nil); err == nil {
+		t.Fatal("default merge should reject incompatible arities")
+	}
+	// An explicit merge that keeps only I1's groups succeeds.
+	merge := func(g1, g2 [][]parser.SelectItem) ([][]parser.SelectItem, error) {
+		return g1, nil
+	}
+	combined, err := ComposeSequential("I12", i1, i2, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combined.Return) != 1 {
+		t.Fatalf("merged groups = %d", len(combined.Return))
+	}
+}
+
+func TestAnalyzeComposition(t *testing.T) {
+	i1 := parseEvent(t, `I1 = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.x)`)
+	i2 := parseEvent(t, `I2 = EVENT MOUSE_DOWN AS D2, MOUSE_MOVE* AS M, MOUSE_UP AS U2 RETURN (D2.x)`)
+	warns := AnalyzeComposition(i1, i2)
+	if len(warns) < 2 {
+		t.Fatalf("warnings = %v, want ambiguity + overlap", warns)
+	}
+	i3 := parseEvent(t, `I3 = EVENT KEY_PRESS AS K, KEY_PRESS AS K2 RETURN (K.t)`)
+	if warns := AnalyzeComposition(i1, i3); len(warns) != 0 {
+		t.Fatalf("disjoint alphabets should not warn: %v", warns)
+	}
+}

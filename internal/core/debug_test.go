@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// Deconstruction (§3.1 / Harper & Agrawala): recover the data bound to each
+// mark from provenance alone — the trace program's marks carry no
+// productId, yet deconstruction reattaches the full Sales rows.
+func TestDeconstructMarks(t *testing.T) {
+	e := loadTrace(t, Config{})
+	data, err := e.Deconstruct("SPLOT_POINTS", "Sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Len() != 5 {
+		t.Fatalf("deconstructed rows = %d, want 5 (one per mark)", data.Len())
+	}
+	// Every output row pairs a mark with its generating product: the mark's
+	// center_x must equal the linear scaling of the product's revenue.
+	cxIdx := data.Schema.Index("SPLOT_POINTS", "center_x")
+	revIdx := data.Schema.Index("Sales", "revenue")
+	nameIdx := data.Schema.Index("Sales", "productName")
+	if cxIdx < 0 || revIdx < 0 || nameIdx < 0 {
+		t.Fatalf("deconstructed schema = %s", data.Schema)
+	}
+	for _, row := range data.Rows {
+		cx, _ := row[cxIdx].AsFloat()
+		rev, _ := row[revIdx].AsFloat()
+		want := 20 + rev/100*360
+		if diff := cx - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("mark at cx=%v does not match revenue %v (want cx=%v)", cx, rev, want)
+		}
+	}
+}
+
+// Restyling: re-visualize the deconstructed data under a new encoding by
+// loading it as a base table of a fresh system and writing a new DeVIL view
+// over it (scatterplot → price bar chart).
+func TestRestyleFromDeconstruction(t *testing.T) {
+	e := loadTrace(t, Config{})
+	data, err := e.Deconstruct("SPLOT_POINTS", "Sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restyled := New(Config{})
+	if err := restyled.Exec("CREATE TABLE Extracted (productId int, price float)"); err != nil {
+		t.Fatal(err)
+	}
+	ext, _ := restyled.Relation("Extracted")
+	pid := data.Schema.Index("Sales", "productId")
+	price := data.Schema.Index("Sales", "price")
+	for _, row := range data.Rows {
+		ext.MustAppend(relation.Tuple{row[pid], row[price]})
+	}
+	if err := restyled.Exec(`
+BARS = SELECT productId * 30 AS x, 280 - price AS y, 20 AS width, price AS height, 'steelblue' AS fill
+       FROM Extracted;
+P = render(SELECT * FROM BARS, 'rect');
+`); err != nil {
+		t.Fatal(err)
+	}
+	bars, _ := restyled.Relation("BARS")
+	if bars.Len() != 5 {
+		t.Fatalf("restyled bars = %d", bars.Len())
+	}
+	if restyled.Image().NonBackgroundCount() == 0 {
+		t.Fatal("restyled chart should render pixels")
+	}
+}
+
+func TestExplainView(t *testing.T) {
+	e := loadBrushing(t, Config{})
+	text, err := e.ExplainView("selected")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Distinct", "Scan", "SPLOT_POINTS"} {
+		if !strings.Contains(text, frag) {
+			t.Fatalf("explain missing %q:\n%s", frag, text)
+		}
+	}
+	if _, err := e.ExplainView("Sales"); err == nil {
+		t.Fatal("explaining a base table should error")
+	}
+	e2 := loadTrace(t, Config{})
+	text2, err := e2.ExplainView("B")
+	if err != nil || !strings.Contains(text2, "TraceView") {
+		t.Fatalf("trace explain = %q, %v", text2, err)
+	}
+}
+
+func TestDebugReport(t *testing.T) {
+	e := loadBrushing(t, Config{})
+	if _, err := e.FeedStream(selectDrag(0)); err != nil {
+		t.Fatal(err)
+	}
+	report := e.DebugReport()
+	for _, frag := range []string{
+		"committed versions", "Sales", "base", "view", "render sink",
+		"evaluation order", "selected", "interactions", "MOUSE_DOWN",
+		"view recomputes",
+	} {
+		if !strings.Contains(report, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, report)
+		}
+	}
+}
+
+func TestLineageAPI(t *testing.T) {
+	e := loadTrace(t, Config{})
+	marks, _ := e.Relation("SPLOT_POINTS")
+	rows := make([]int, marks.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	lin, err := e.Lineage("SPLOT_POINTS", rows, "Sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin) != marks.Len() {
+		t.Fatalf("lineage entries = %d", len(lin))
+	}
+	seen := map[int]bool{}
+	for i, src := range lin {
+		if len(src) != 1 {
+			t.Fatalf("mark %d has %d source rows, want 1", i, len(src))
+		}
+		seen[src[0]] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("marks trace to %d distinct products, want 5", len(seen))
+	}
+	if _, err := e.Lineage("Sales", []int{0}, "Sales"); err == nil {
+		t.Fatal("lineage of a base table should error")
+	}
+}

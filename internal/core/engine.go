@@ -1,0 +1,601 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/events"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/render"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Width and Height size the framebuffer the render sinks draw into.
+	// Defaults: 400×300.
+	Width, Height int
+	// MaxHistory bounds the committed version history (@vnow depth).
+	// Default 64.
+	MaxHistory int
+	// RecomputeAll disables dirty-set view maintenance: every view
+	// recomputes on every change. This is the baseline arm of the A1
+	// ablation; leave false for normal operation.
+	RecomputeAll bool
+	// EagerProvenance maintains a materialized lineage index for every
+	// view on every recompute, so TRACE statements read the index instead
+	// of recomputing lineage lazily. This is the eager arm of the A2
+	// ablation (§3.1 discusses why lazy usually wins).
+	EagerProvenance bool
+}
+
+// TxnEvent describes how one fed input event advanced the interaction
+// transaction machinery, mirroring events.Actions at the engine level.
+type TxnEvent struct {
+	Interaction string // compound event table name, "" if the event was filtered everywhere
+	Began       bool
+	RowsEmitted int
+	Committed   bool
+	Aborted     bool
+	Version     int // committed version index when Committed
+}
+
+// Engine is the DVMS instance: it loads DeVIL programs, maintains views,
+// recognizes interactions, manages versions and transactions, and renders
+// marks to pixels.
+type Engine struct {
+	cfg   Config
+	store *Store
+	funcs *expr.Registry
+
+	views     map[string]*view // keyed lowercase
+	viewOrder []string         // definition order
+	topo      []string         // recompute order (topological)
+	deps      map[string][]string
+
+	recognizers []*events.Recognizer
+	// activeTxn is the compound table name of the in-flight interaction.
+	activeTxn string
+
+	img      *render.Image
+	warnings []string
+
+	// stats for benchmarks and EXPERIMENTS.md
+	Stats Stats
+}
+
+// Stats counts engine work, exposed for benchmarks and the experiment
+// harness.
+type Stats struct {
+	ViewRecomputes int
+	RenderPasses   int
+	EventsFed      int
+	EventsFiltered int
+	Commits        int
+	Aborts         int
+}
+
+// New creates an engine with the given config.
+func New(cfg Config) *Engine {
+	if cfg.Width <= 0 {
+		cfg.Width = 400
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 300
+	}
+	e := &Engine{
+		cfg:   cfg,
+		store: NewStore(cfg.MaxHistory),
+		funcs: expr.NewRegistry(),
+		views: make(map[string]*view),
+		deps:  map[string][]string{},
+		img:   render.NewImage(cfg.Width, cfg.Height),
+	}
+	return e
+}
+
+// Funcs exposes the engine's UDF registry so hosts can register pure scalar
+// functions before loading programs.
+func (e *Engine) Funcs() *expr.Registry { return e.funcs }
+
+// Warnings returns static-analysis warnings accumulated while loading
+// programs (e.g. ambiguous interaction pairs).
+func (e *Engine) Warnings() []string { return append([]string(nil), e.warnings...) }
+
+// Image returns the engine framebuffer (the render sinks' target).
+func (e *Engine) Image() *render.Image { return e.img }
+
+// Pixels materializes the pixels relation P(x,y,r,g,b,a) on demand (§2.1.1
+// models P as maintained by the rendering device, not materialized).
+func (e *Engine) Pixels(sparse bool) *relation.Relation {
+	return render.PixelsRelation(e.img, sparse)
+}
+
+// Store exposes the storage manager (read-only use expected).
+func (e *Engine) Store() *Store { return e.store }
+
+// LoadProgram parses and applies a DeVIL program: DDL creates base tables,
+// INSERTs load data, assignments define views, EVENT statements compile
+// recognizers. After loading, all views are computed, the scene is rendered,
+// and the state is committed as version 0 so that @vnow-1 references resolve
+// during the first interaction.
+func (e *Engine) LoadProgram(src string) error {
+	if err := e.Exec(src); err != nil {
+		return err
+	}
+	e.Commit()
+	return nil
+}
+
+// Exec applies DeVIL statements without the final commit; use it for
+// incremental statements after LoadProgram.
+func (e *Engine) Exec(src string) error {
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if err := e.execStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) execStmt(s parser.Statement) error {
+	switch n := s.(type) {
+	case *parser.CreateTableStmt:
+		if e.store.Has(n.Name) {
+			return fmt.Errorf("relation %q already exists", n.Name)
+		}
+		e.store.Put(relation.New(n.Name, n.Schema))
+		return nil
+	case *parser.InsertStmt:
+		return e.execInsert(n)
+	case *parser.DeleteStmt:
+		return e.execDelete(n)
+	case *parser.EventStmt:
+		return e.defineEvent(n)
+	case *parser.AssignStmt:
+		return e.defineView(n)
+	default:
+		return fmt.Errorf("unsupported statement %T", s)
+	}
+}
+
+func (e *Engine) execInsert(n *parser.InsertStmt) error {
+	target, err := e.store.Get(n.Table)
+	if err != nil {
+		return err
+	}
+	if e.isView(n.Table) {
+		return fmt.Errorf("cannot INSERT into view %q", n.Table)
+	}
+	var rows []relation.Tuple
+	if n.Query != nil {
+		res, err := e.executor().RunQuery(n.Query)
+		if err != nil {
+			return err
+		}
+		rows = res.Rel.Rows
+	} else {
+		ctx := &expr.Context{Funcs: e.funcs}
+		for _, exprRow := range n.Rows {
+			row := make(relation.Tuple, len(exprRow))
+			for i, ee := range exprRow {
+				v, err := ee.Eval(ctx)
+				if err != nil {
+					return fmt.Errorf("INSERT INTO %s: %w", n.Table, err)
+				}
+				row[i] = v
+			}
+			rows = append(rows, row)
+		}
+	}
+	// Optional column list reorders/projects values into schema positions.
+	if len(n.Columns) > 0 {
+		idx := make([]int, len(n.Columns))
+		for i, c := range n.Columns {
+			j, err := target.Schema.IndexErr("", c)
+			if err != nil {
+				return fmt.Errorf("INSERT INTO %s: %w", n.Table, err)
+			}
+			idx[i] = j
+		}
+		remapped := make([]relation.Tuple, len(rows))
+		for r, row := range rows {
+			if len(row) != len(idx) {
+				return fmt.Errorf("INSERT INTO %s: row arity %d does not match column list %d", n.Table, len(row), len(idx))
+			}
+			full := make(relation.Tuple, target.Schema.Len())
+			for i := range full {
+				full[i] = relation.Null()
+			}
+			for i, j := range idx {
+				full[j] = row[i]
+			}
+			remapped[r] = full
+		}
+		rows = remapped
+	}
+	for _, row := range rows {
+		if err := target.Append(row); err != nil {
+			return err
+		}
+	}
+	return e.refresh([]string{n.Table})
+}
+
+func (e *Engine) execDelete(n *parser.DeleteStmt) error {
+	target, err := e.store.Get(n.Table)
+	if err != nil {
+		return err
+	}
+	if e.isView(n.Table) {
+		return fmt.Errorf("cannot DELETE from view %q", n.Table)
+	}
+	if n.Where == nil {
+		target.Rows = nil
+		return e.refresh([]string{n.Table})
+	}
+	env := &tupleEnv{schema: target.Schema}
+	ctx := &expr.Context{Row: env, Funcs: e.funcs}
+	kept := target.Rows[:0:0]
+	for _, row := range target.Rows {
+		env.row = row
+		v, err := n.Where.Eval(ctx)
+		if err != nil {
+			return fmt.Errorf("DELETE FROM %s: %w", n.Table, err)
+		}
+		if v.IsNull() || !v.Truthy() {
+			kept = append(kept, row)
+		}
+	}
+	target.Rows = kept
+	return e.refresh([]string{n.Table})
+}
+
+// tupleEnv is a minimal RowEnv over an unqualified schema.
+type tupleEnv struct {
+	schema relation.Schema
+	row    relation.Tuple
+}
+
+// Lookup resolves a column by name.
+func (t *tupleEnv) Lookup(q, n string) (relation.Value, bool) {
+	idx := t.schema.Index(q, n)
+	if idx < 0 {
+		idx = t.schema.Index("", n)
+	}
+	if idx < 0 || idx >= len(t.row) {
+		return relation.Null(), false
+	}
+	return t.row[idx], true
+}
+
+func (e *Engine) isView(name string) bool {
+	_, ok := e.views[strings.ToLower(name)]
+	return ok
+}
+
+// defineEvent compiles an EVENT statement, creates the compound event table,
+// and runs interaction-ambiguity analysis against existing recognizers.
+func (e *Engine) defineEvent(stmt *parser.EventStmt) error {
+	rec, err := events.Compile(stmt, e.funcs)
+	if err != nil {
+		return err
+	}
+	if e.store.Has(stmt.Name) {
+		return fmt.Errorf("relation %q already exists", stmt.Name)
+	}
+	for _, other := range e.recognizers {
+		if other.FirstType() == rec.FirstType() {
+			e.warnings = append(e.warnings, fmt.Sprintf(
+				"ambiguous interactions: %s and %s both start on %s; consider partitioning by space or assigning priorities (§2.1.2)",
+				other.Name(), rec.Name(), rec.FirstType()))
+		}
+	}
+	e.recognizers = append(e.recognizers, rec)
+	e.store.Put(relation.New(stmt.Name, rec.Schema()))
+	return nil
+}
+
+// defineView installs an assignment statement as a materialized view,
+// re-runs recursion analysis, recomputes, and re-renders.
+func (e *Engine) defineView(stmt *parser.AssignStmt) error {
+	if stmt.Name == "" {
+		// bare SELECT at top level: evaluate and discard (useful in REPL).
+		_, err := e.executor().RunQuery(stmt.Query)
+		return err
+	}
+	k := strings.ToLower(stmt.Name)
+	v := &view{name: stmt.Name, query: stmt.Query, deps: queryDeps(stmt.Query)}
+	if r, ok := stmt.Query.(*parser.RenderStmt); ok {
+		v.renderAs = &renderSink{markType: r.MarkType}
+	}
+	if _, ok := stmt.Query.(*parser.TraceStmt); ok {
+		v.isTrace = true
+	}
+	// Validate deps exist (they may be defined as views below/later in the
+	// program for vnow refs, but live deps must exist now).
+	for _, d := range v.deps {
+		if strings.EqualFold(d.name, stmt.Name) && d.cyclic() && !e.store.Has(stmt.Name) {
+			return fmt.Errorf("recursive view definition: %s references itself; use @vnow-i or @tnow-j to reference past versions", stmt.Name)
+		}
+		if !e.store.Has(d.name) && !e.isView(d.name) {
+			return fmt.Errorf("view %s references unknown relation %q", stmt.Name, d.name)
+		}
+	}
+	_, redefinition := e.views[k]
+	if !redefinition && e.store.Has(stmt.Name) && !e.isView(stmt.Name) {
+		return fmt.Errorf("cannot redefine base relation %q as a view", stmt.Name)
+	}
+	e.views[k] = v
+	if !redefinition {
+		e.viewOrder = append(e.viewOrder, stmt.Name)
+	}
+	topo, err := topoOrder(e.views, e.viewOrder)
+	if err != nil {
+		// roll back the definition so the engine stays consistent
+		if !redefinition {
+			delete(e.views, k)
+			e.viewOrder = e.viewOrder[:len(e.viewOrder)-1]
+		}
+		return err
+	}
+	e.topo = topo
+	e.deps = dependents(e.views)
+	// Materialize now (full recompute of this view and its dependents).
+	if err := e.recomputeView(v); err != nil {
+		return err
+	}
+	return e.refresh([]string{stmt.Name})
+}
+
+// executor builds an executor over the live catalog.
+func (e *Engine) executor() *exec.Executor {
+	return &exec.Executor{Cat: e.store, Funcs: e.funcs}
+}
+
+// recomputeView materializes one view from its definition; under eager
+// provenance it also refreshes the view's lineage index.
+func (e *Engine) recomputeView(v *view) error {
+	e.Stats.ViewRecomputes++
+	var rel *relation.Relation
+	var err error
+	if v.isTrace {
+		rel, err = e.runTrace(v.query.(*parser.TraceStmt))
+	} else {
+		ex := e.executor()
+		ex.CaptureLineage = e.cfg.EagerProvenance
+		var res *exec.Result
+		res, err = ex.RunQuery(v.query)
+		if err == nil {
+			rel = exec.StripQualifiers(res.Rel)
+			if e.cfg.EagerProvenance {
+				v.lin = res.Lin
+			}
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("view %s: %w", v.name, err)
+	}
+	rel.Name = v.name
+	e.store.Put(rel)
+	return nil
+}
+
+// refresh recomputes views affected by changes to the named relations, in
+// topological order, then re-renders all sinks.
+func (e *Engine) refresh(changed []string) error {
+	dirty := map[string]bool{}
+	var mark func(string)
+	mark = func(name string) {
+		for _, dep := range e.deps[strings.ToLower(name)] {
+			k := strings.ToLower(dep)
+			if !dirty[k] {
+				dirty[k] = true
+				mark(dep)
+			}
+		}
+	}
+	for _, c := range changed {
+		mark(c)
+	}
+	for _, name := range e.topo {
+		k := strings.ToLower(name)
+		if e.cfg.RecomputeAll || dirty[k] {
+			if err := e.recomputeView(e.views[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return e.render()
+}
+
+// render rasterizes every render sink, in definition order, onto a cleared
+// framebuffer.
+func (e *Engine) render() error {
+	any := false
+	for _, name := range e.viewOrder {
+		if e.views[strings.ToLower(name)].renderAs != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	e.Stats.RenderPasses++
+	e.img.Clear()
+	for _, name := range e.viewOrder {
+		v := e.views[strings.ToLower(name)]
+		if v.renderAs == nil {
+			continue
+		}
+		rel, err := e.store.Get(v.name)
+		if err != nil {
+			return err
+		}
+		mt, err := e.sinkMarkType(v, rel)
+		if err != nil {
+			return fmt.Errorf("render %s: %w", v.name, err)
+		}
+		if err := render.RenderMarks(e.img, rel, mt); err != nil {
+			return fmt.Errorf("render %s: %w", v.name, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) sinkMarkType(v *view, rel *relation.Relation) (render.MarkType, error) {
+	if v.renderAs.markType != "" {
+		return render.ParseMarkType(v.renderAs.markType)
+	}
+	return render.InferMarkType(rel.Schema)
+}
+
+// FeedEvent routes one low-level event through every recognizer, applies
+// emitted compound-event rows to storage, maintains views, renders, and
+// drives transaction begin/commit/abort. The returned TxnEvent summarizes
+// what happened.
+func (e *Engine) FeedEvent(ev events.Event) (TxnEvent, error) {
+	e.Stats.EventsFed++
+	var out TxnEvent
+	consumed := false
+	for _, rec := range e.recognizers {
+		acts, err := rec.Feed(ev)
+		if err != nil {
+			return out, err
+		}
+		if acts.Filtered {
+			continue
+		}
+		consumed = true
+		out.Interaction = rec.Name()
+		ct, err := e.store.Get(rec.Name())
+		if err != nil {
+			return out, err
+		}
+		if acts.Began {
+			out.Began = true
+			// Each interaction starts from a fresh compound table.
+			ct.Rows = nil
+			e.store.BeginTxn()
+			e.activeTxn = rec.Name()
+		}
+		for _, row := range acts.Rows {
+			if err := ct.Append(row); err != nil {
+				return out, err
+			}
+		}
+		out.RowsEmitted += len(acts.Rows)
+		if acts.Began || len(acts.Rows) > 0 {
+			if err := e.refresh([]string{rec.Name()}); err != nil {
+				return out, err
+			}
+		}
+		switch {
+		case acts.Committed:
+			out.Committed = true
+			out.Version = e.Commit()
+			e.activeTxn = ""
+		case acts.Aborted:
+			out.Aborted = true
+			e.Stats.Aborts++
+			if err := e.abort(rec.Name()); err != nil {
+				return out, err
+			}
+			e.activeTxn = ""
+		default:
+			e.store.MarkEvent()
+		}
+	}
+	if !consumed {
+		e.Stats.EventsFiltered++
+	}
+	return out, nil
+}
+
+// FeedStream feeds a whole event stream, returning the transaction summary
+// of each event.
+func (e *Engine) FeedStream(stream events.Stream) ([]TxnEvent, error) {
+	out := make([]TxnEvent, 0, len(stream))
+	for _, ev := range stream {
+		te, err := e.FeedEvent(ev)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, te)
+	}
+	return out, nil
+}
+
+// Commit pushes the current state as a new committed version and returns
+// its index.
+func (e *Engine) Commit() int {
+	e.Stats.Commits++
+	return e.store.Commit()
+}
+
+// abort rolls the whole database back to the last committed version (the
+// state before the interaction began) and re-renders — §2.1.2: "abort is
+// equivalent to clearing the compound event table C in order to roll back".
+func (e *Engine) abort(compound string) error {
+	if err := e.store.Rollback(); err != nil {
+		return err
+	}
+	ct, err := e.store.Get(compound)
+	if err != nil {
+		return err
+	}
+	ct.Rows = nil
+	return e.render()
+}
+
+// Undo rewinds the database to the previous committed version and commits
+// that state as a new version (so redo is a further Undo of depth 2, per
+// the versioning semantics of §2.1.3).
+func (e *Engine) Undo() error {
+	if err := e.store.RestoreVersion(2); err != nil {
+		return err
+	}
+	if err := e.render(); err != nil {
+		return err
+	}
+	e.Commit()
+	return nil
+}
+
+// Relation returns the current contents of a base relation or view.
+func (e *Engine) Relation(name string) (*relation.Relation, error) {
+	return e.store.Get(name)
+}
+
+// RelationAt returns a relation's contents at a version reference.
+func (e *Engine) RelationAt(name string, v relation.VersionRef) (*relation.Relation, error) {
+	return e.store.Resolve(name, v)
+}
+
+// Query runs an ad-hoc DeVIL query against the current state.
+func (e *Engine) Query(src string) (*relation.Relation, error) {
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.executor().RunQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return exec.StripQualifiers(res.Rel), nil
+}
+
+// ViewNames lists views in definition order.
+func (e *Engine) ViewNames() []string {
+	return append([]string(nil), e.viewOrder...)
+}
+
+// InTxn reports whether an interaction is in flight.
+func (e *Engine) InTxn() bool { return e.activeTxn != "" }

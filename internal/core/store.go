@@ -1,0 +1,248 @@
+// Package core implements the DVMS engine of Fig 3: the Interaction
+// Manager (program loading, static analysis), the Storage Manager (base
+// relations, materialized views, version history for @vnow/@tnow), the
+// Executor integration (topological view maintenance), interaction
+// transactions driven by the Event Recognizer, render sinks producing the
+// pixels table, and the provenance tracer of §3.1.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// snapshot is the full database state at a point in time: every relation's
+// contents, shallow-copied (tuples are immutable, so sharing is safe).
+type snapshot map[string]*relation.Relation
+
+// Store is the storage manager: it owns current relation contents, the
+// committed version history backing @vnow-i references, and the
+// intra-transaction event history backing @tnow-j references.
+type Store struct {
+	rels map[string]*relation.Relation
+	// names preserves definition order for deterministic iteration.
+	names []string
+	// history[k] is the state committed by transaction k (the initial
+	// program load commits version 0). Bounded by maxHistory.
+	history []snapshot
+	// txnHist[j] is the state after the j-th applied event of the current
+	// interaction; txnHist[0] is the state at transaction begin.
+	txnHist    []snapshot
+	maxHistory int
+	dropped    int // number of old versions evicted from history
+}
+
+// NewStore creates an empty store keeping up to maxHistory committed
+// versions (0 means the default of 64).
+func NewStore(maxHistory int) *Store {
+	if maxHistory <= 0 {
+		maxHistory = 64
+	}
+	return &Store{rels: make(map[string]*relation.Relation), maxHistory: maxHistory}
+}
+
+func keyOf(name string) string { return strings.ToLower(name) }
+
+// Put installs or replaces a relation's current contents.
+func (s *Store) Put(rel *relation.Relation) {
+	k := keyOf(rel.Name)
+	if _, ok := s.rels[k]; !ok {
+		s.names = append(s.names, rel.Name)
+	}
+	s.rels[k] = rel
+}
+
+// Has reports whether a relation exists.
+func (s *Store) Has(name string) bool {
+	_, ok := s.rels[keyOf(name)]
+	return ok
+}
+
+// Get returns the current contents of a relation.
+func (s *Store) Get(name string) (*relation.Relation, error) {
+	r, ok := s.rels[keyOf(name)]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// Names lists relations in definition order.
+func (s *Store) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Resolve implements plan.Catalog: it returns a relation's contents at the
+// requested version.
+//
+//   - current (no suffix): the live working state;
+//   - @vnow-0: alias for the live state; @vnow-i (i≥1): the state committed
+//     i transactions ago (during an interaction, @vnow-1 is the state at the
+//     beginning of the interaction, exactly as DeVIL 3 uses it);
+//   - @tnow-0: the state after the latest applied event of the current
+//     interaction; @tnow-j: j events earlier. Outside an interaction @tnow
+//     resolves to the live state.
+func (s *Store) Resolve(name string, v relation.VersionRef) (*relation.Relation, error) {
+	switch v.Kind {
+	case relation.VersionCurrent:
+		return s.Get(name)
+	case relation.VersionVNow:
+		if v.Offset == 0 {
+			return s.Get(name)
+		}
+		idx := len(s.history) - v.Offset
+		if idx < 0 {
+			// Before enough history exists (e.g. while the initial program
+			// is still loading), clamp to the oldest state available: the
+			// earliest snapshot, or the live state when nothing has been
+			// committed yet. DeVIL 3-style @vnow-1 references thus resolve
+			// meaningfully during program load.
+			if len(s.history) == 0 {
+				return s.Get(name)
+			}
+			idx = 0
+		}
+		return s.fromSnapshot(s.history[idx], name, v)
+	case relation.VersionTNow:
+		// "Now" is the event currently being applied: @tnow-0 is the live
+		// state (including the in-flight event's effects so far); @tnow-j
+		// (j ≥ 1) is the state after the j-th previous event, clamping at
+		// the transaction begin state. Views are recomputed mid-event, so
+		// during event k the history top is the state after event k-1.
+		if len(s.txnHist) == 0 || v.Offset == 0 {
+			return s.Get(name)
+		}
+		idx := len(s.txnHist) - v.Offset
+		if idx < 0 {
+			idx = 0 // clamp to transaction begin
+		}
+		return s.fromSnapshot(s.txnHist[idx], name, v)
+	default:
+		return nil, fmt.Errorf("unknown version kind %d", v.Kind)
+	}
+}
+
+func (s *Store) fromSnapshot(snap snapshot, name string, v relation.VersionRef) (*relation.Relation, error) {
+	r, ok := snap[keyOf(name)]
+	if !ok {
+		return nil, fmt.Errorf("relation %q does not exist at version %s", name, v)
+	}
+	return r, nil
+}
+
+// capture shallow-copies the entire current state.
+func (s *Store) capture() snapshot {
+	snap := make(snapshot, len(s.rels))
+	for k, r := range s.rels {
+		snap[k] = r.Snapshot()
+	}
+	return snap
+}
+
+// Commit pushes the current state onto the committed version history and
+// clears the transaction event history. Returns the committed version index.
+func (s *Store) Commit() int {
+	s.history = append(s.history, s.capture())
+	if len(s.history) > s.maxHistory {
+		over := len(s.history) - s.maxHistory
+		s.history = append([]snapshot{}, s.history[over:]...)
+		s.dropped += over
+	}
+	s.txnHist = nil
+	return s.dropped + len(s.history) - 1
+}
+
+// Versions returns the number of committed versions currently retained.
+func (s *Store) Versions() int { return len(s.history) }
+
+// BeginTxn starts the intra-transaction event history with the pre-event
+// state.
+func (s *Store) BeginTxn() {
+	s.txnHist = []snapshot{s.capture()}
+}
+
+// MarkEvent records the state after applying one event.
+func (s *Store) MarkEvent() {
+	if s.txnHist != nil {
+		s.txnHist = append(s.txnHist, s.capture())
+	}
+}
+
+// InTxn reports whether an interaction transaction is in flight.
+func (s *Store) InTxn() bool { return s.txnHist != nil }
+
+// Rollback restores the live state to the last committed version (the state
+// at the beginning of the current interaction) and clears the transaction
+// history. It is the storage half of an interaction abort.
+func (s *Store) Rollback() error {
+	if len(s.history) == 0 {
+		return fmt.Errorf("rollback: no committed version exists")
+	}
+	s.restore(s.history[len(s.history)-1])
+	s.txnHist = nil
+	return nil
+}
+
+// RestoreVersion rewinds the live state to vnow-i (i ≥ 1), the mechanism
+// behind undo (§2.1.3's "undo and redo is supported by the versioning
+// semantics").
+func (s *Store) RestoreVersion(i int) error {
+	if i < 1 {
+		return fmt.Errorf("restore: offset must be >= 1")
+	}
+	idx := len(s.history) - i
+	if idx < 0 {
+		return fmt.Errorf("restore: only %d committed versions exist", len(s.history))
+	}
+	s.restore(s.history[idx])
+	return nil
+}
+
+func (s *Store) restore(snap snapshot) {
+	for k := range s.rels {
+		if r, ok := snap[k]; ok {
+			s.rels[k] = r.Snapshot()
+		}
+		// Relations created after the snapshot keep their current
+		// contents; DeVIL programs do not create relations mid-interaction,
+		// so this arises only from host API misuse.
+	}
+}
+
+// shiftedCatalog resolves relation references as of a past committed
+// version: current references resolve to vnow-shift, and vnow-i references
+// deepen to vnow-(i+shift). The provenance tracer uses it to compute exact
+// lineage for versioned scans like SPLOT_POINTS@vnow-1.
+type shiftedCatalog struct {
+	store *Store
+	shift int
+}
+
+// Resolve implements plan.Catalog at a historical offset.
+func (c *shiftedCatalog) Resolve(name string, v relation.VersionRef) (*relation.Relation, error) {
+	switch v.Kind {
+	case relation.VersionCurrent:
+		return c.store.Resolve(name, relation.VNow(c.shift))
+	case relation.VersionVNow:
+		if v.Offset == 0 {
+			return c.store.Resolve(name, relation.VNow(c.shift))
+		}
+		return c.store.Resolve(name, relation.VNow(v.Offset+c.shift))
+	default:
+		return c.store.Resolve(name, v)
+	}
+}
+
+// CatalogAt returns a plan.Catalog view of the store as of vnow-shift
+// (shift 0 is the live state).
+func (s *Store) CatalogAt(shift int) plan.Catalog {
+	if shift == 0 {
+		return s
+	}
+	return &shiftedCatalog{store: s, shift: shift}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func intRel(name string, vals ...int64) *relation.Relation {
+	r := relation.New(name, relation.NewSchema(relation.Col("v", relation.KindInt)))
+	for _, v := range vals {
+		r.MustAppend(relation.Tuple{relation.Int(v)})
+	}
+	return r
+}
+
+func TestStoreVersioning(t *testing.T) {
+	s := NewStore(8)
+	s.Put(intRel("T", 1))
+	s.Commit() // version 0: T = {1}
+	rel, _ := s.Get("T")
+	rel.MustAppend(relation.Tuple{relation.Int(2)})
+	s.Commit() // version 1: T = {1,2}
+	rel, _ = s.Get("T")
+	rel.MustAppend(relation.Tuple{relation.Int(3)})
+	// live: {1,2,3}; vnow-1: {1,2}; vnow-2: {1}
+	cur, err := s.Resolve("T", relation.Current())
+	if err != nil || cur.Len() != 3 {
+		t.Fatalf("current = %v, %v", cur.Len(), err)
+	}
+	v1, err := s.Resolve("T", relation.VNow(1))
+	if err != nil || v1.Len() != 2 {
+		t.Fatalf("vnow-1 = %v, %v", v1.Len(), err)
+	}
+	v2, err := s.Resolve("T", relation.VNow(2))
+	if err != nil || v2.Len() != 1 {
+		t.Fatalf("vnow-2 = %v, %v", v2.Len(), err)
+	}
+	// vnow-0 aliases the live state
+	v0, err := s.Resolve("T", relation.VNow(0))
+	if err != nil || v0.Len() != 3 {
+		t.Fatalf("vnow-0 = %v, %v", v0.Len(), err)
+	}
+	// deeper than history: clamps to oldest snapshot
+	v9, err := s.Resolve("T", relation.VNow(9))
+	if err != nil || v9.Len() != 1 {
+		t.Fatalf("vnow-9 = %v, %v", v9.Len(), err)
+	}
+}
+
+func TestStoreTnowSnapshots(t *testing.T) {
+	s := NewStore(8)
+	s.Put(intRel("T", 1))
+	s.Commit()
+	s.BeginTxn() // tnow history starts: state {1}
+	rel, _ := s.Get("T")
+	rel.MustAppend(relation.Tuple{relation.Int(2)})
+	s.MarkEvent() // after event 1: {1,2}
+	rel.MustAppend(relation.Tuple{relation.Int(3)})
+	s.MarkEvent() // after event 2: {1,2,3}
+
+	// tnow-0 is the live state; with both events marked, tnow-1 is the
+	// state after the latest event, tnow-2 after the first.
+	t0, _ := s.Resolve("T", relation.TNow(0))
+	if t0.Len() != 3 {
+		t.Fatalf("tnow-0 = %d", t0.Len())
+	}
+	t1, _ := s.Resolve("T", relation.TNow(1))
+	if t1.Len() != 3 {
+		t.Fatalf("tnow-1 = %d", t1.Len())
+	}
+	t2, _ := s.Resolve("T", relation.TNow(2))
+	if t2.Len() != 2 {
+		t.Fatalf("tnow-2 = %d", t2.Len())
+	}
+	// beyond the transaction start: clamps to begin state
+	t9, _ := s.Resolve("T", relation.TNow(9))
+	if t9.Len() != 1 {
+		t.Fatalf("tnow-9 = %d", t9.Len())
+	}
+	// Mid-event view of the same semantics: before MarkEvent of a third
+	// event, tnow-1 is the state after the second.
+	rel, _ = s.Get("T")
+	rel.MustAppend(relation.Tuple{relation.Int(4)})
+	mid, _ := s.Resolve("T", relation.TNow(1))
+	if mid.Len() != 3 {
+		t.Fatalf("mid-event tnow-1 = %d, want 3", mid.Len())
+	}
+	// outside a transaction, tnow = live (now 4 rows after the mid-event
+	// append above)
+	s.Commit()
+	tOut, _ := s.Resolve("T", relation.TNow(1))
+	if tOut.Len() != 4 {
+		t.Fatalf("tnow outside txn = %d", tOut.Len())
+	}
+}
+
+func TestStoreRollback(t *testing.T) {
+	s := NewStore(8)
+	s.Put(intRel("T", 1))
+	s.Commit()
+	s.BeginTxn()
+	rel, _ := s.Get("T")
+	rel.MustAppend(relation.Tuple{relation.Int(2)})
+	s.MarkEvent()
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := s.Get("T")
+	if cur.Len() != 1 {
+		t.Fatalf("post-rollback = %d rows", cur.Len())
+	}
+	if s.InTxn() {
+		t.Fatal("rollback should end the transaction")
+	}
+}
+
+func TestStoreHistoryEviction(t *testing.T) {
+	s := NewStore(3)
+	s.Put(intRel("T"))
+	for i := 0; i < 10; i++ {
+		rel, _ := s.Get("T")
+		rel.MustAppend(relation.Tuple{relation.Int(int64(i))})
+		s.Commit()
+	}
+	if s.Versions() != 3 {
+		t.Fatalf("retained versions = %d, want 3", s.Versions())
+	}
+	// oldest retained = after commit 7 (8 rows)
+	v3, err := s.Resolve("T", relation.VNow(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Len() != 8 {
+		t.Fatalf("oldest retained = %d rows, want 8", v3.Len())
+	}
+}
+
+// Property: snapshot/restore round trip — after any sequence of appends and
+// a rollback, the store matches the committed state.
+func TestStoreRollbackProperty(t *testing.T) {
+	f := func(initial []int64, txn []int64) bool {
+		s := NewStore(4)
+		s.Put(intRel("T", initial...))
+		s.Commit()
+		s.BeginTxn()
+		rel, _ := s.Get("T")
+		for _, v := range txn {
+			rel.MustAppend(relation.Tuple{relation.Int(v)})
+			s.MarkEvent()
+		}
+		if err := s.Rollback(); err != nil {
+			return false
+		}
+		cur, _ := s.Get("T")
+		return cur.Len() == len(initial)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRestoreVersionForUndo(t *testing.T) {
+	s := NewStore(8)
+	s.Put(intRel("T", 1))
+	s.Commit() // v0
+	rel, _ := s.Get("T")
+	rel.MustAppend(relation.Tuple{relation.Int(2)})
+	s.Commit() // v1
+	if err := s.RestoreVersion(2); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := s.Get("T")
+	if cur.Len() != 1 {
+		t.Fatalf("post-restore rows = %d, want 1", cur.Len())
+	}
+	if err := s.RestoreVersion(0); err == nil {
+		t.Fatal("RestoreVersion(0) should error")
+	}
+	if err := s.RestoreVersion(99); err == nil {
+		t.Fatal("too-deep restore should error")
+	}
+}
+
+func TestShiftedCatalog(t *testing.T) {
+	s := NewStore(8)
+	s.Put(intRel("T", 1))
+	s.Commit() // v… T={1}
+	rel, _ := s.Get("T")
+	rel.MustAppend(relation.Tuple{relation.Int(2)})
+	s.Commit() // T={1,2}
+	rel, _ = s.Get("T")
+	rel.MustAppend(relation.Tuple{relation.Int(3)})
+
+	cat := s.CatalogAt(1) // as of last commit
+	r, err := cat.Resolve("T", relation.Current())
+	if err != nil || r.Len() != 2 {
+		t.Fatalf("shifted current = %v, %v", r.Len(), err)
+	}
+	r, err = cat.Resolve("T", relation.VNow(1))
+	if err != nil || r.Len() != 1 {
+		t.Fatalf("shifted vnow-1 = %v, %v", r.Len(), err)
+	}
+}

@@ -1,0 +1,315 @@
+package core
+
+// Tests for §2.1.3: "the primary classes of interaction techniques —
+// interactive selection, changing visual encodings, adding or removing
+// marks, coordinated views, and undo/redo — can be readily expressed in
+// DeVIL". Each test expresses one taxonomy class with only the language
+// constructs of §2.1 and checks the resulting behaviour.
+
+import (
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/relation"
+)
+
+// Interactive selection: a join between the interaction event stream and the
+// rendered marks relations (covered extensively by engine_test.go; this is
+// the minimal form).
+func TestTaxonomyInteractiveSelection(t *testing.T) {
+	e := New(Config{})
+	if err := e.LoadProgram(`
+CREATE TABLE Data (id int, x float, y float);
+INSERT INTO Data VALUES (1, 50, 50), (2, 150, 150);
+MARKS = SELECT 5 AS radius, x AS center_x, y AS center_y, id FROM Data;
+C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.t, D.x, D.y);
+hit = SELECT MK.id FROM C, MARKS@vnow-1 AS MK
+      WHERE in_rectangle(MK.center_x, MK.center_y, C.x - 10, C.y - 10, C.x + 10, C.y + 10);
+`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FeedStream(events.Stream{
+		events.Mouse(events.MouseDown, 0, 148, 152),
+		events.Mouse(events.MouseUp, 1, 148, 152),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hit, _ := e.Relation("hit")
+	if hit.Len() != 1 {
+		t.Fatalf("hit = %d rows\n%s", hit.Len(), hit)
+	}
+	if id, _ := hit.Rows[0][0].AsInt(); id != 2 {
+		t.Fatalf("hit id = %d", id)
+	}
+}
+
+// Changing visual encodings: a keyboard interaction flips the projection
+// clause (color) of the marks relation — "naturally translates into
+// modifications of a projection clause".
+func TestTaxonomyVisualEncodingChange(t *testing.T) {
+	e := New(Config{})
+	// mode accumulates key presses across interactions via the versioned
+	// self-reference idiom (define, then redefine reading @vnow-1) — each
+	// key press is its own transaction, so the compound table K holds only
+	// the latest press.
+	if err := e.LoadProgram(`
+CREATE TABLE Data (id int, v float);
+INSERT INTO Data VALUES (1, 10), (2, 80);
+K = EVENT KEY_PRESS AS P RETURN (P.t, P.key);
+mode = SELECT 0 AS by_value;
+mode = SELECT ((SELECT count(*) FROM K) + (SELECT by_value FROM mode@vnow-1)) % 2 AS by_value;
+MARKS = SELECT id * 50 AS center_x, 100 AS center_y, 5 AS radius,
+        CASE WHEN (SELECT by_value FROM mode) = 1 AND v > 50 THEN 'red'
+             WHEN (SELECT by_value FROM mode) = 1 THEN 'blue'
+             ELSE 'gray' END AS fill,
+        id
+        FROM Data;
+`); err != nil {
+		t.Fatal(err)
+	}
+	fills := func() []string {
+		m, _ := e.Relation("MARKS")
+		vals, _ := m.Column("fill")
+		out := make([]string, len(vals))
+		for i, v := range vals {
+			out[i] = v.AsString()
+		}
+		return out
+	}
+	before := fills()
+	if before[0] != "gray" || before[1] != "gray" {
+		t.Fatalf("initial encoding = %v", before)
+	}
+	if _, err := e.FeedEvent(events.Key(0, "c")); err != nil {
+		t.Fatal(err)
+	}
+	after := fills()
+	if after[0] != "blue" || after[1] != "red" {
+		t.Fatalf("toggled encoding = %v", after)
+	}
+	// toggling again restores the original encoding
+	if _, err := e.FeedEvent(events.Key(1, "c")); err != nil {
+		t.Fatal(err)
+	}
+	if again := fills(); again[0] != "gray" {
+		t.Fatalf("re-toggled encoding = %v", again)
+	}
+}
+
+// Adding or removing marks: "natively supported by inserting or removing
+// data in the underlying database relations and performing view updates, or
+// by manipulating selection predicates".
+func TestTaxonomyAddRemoveMarks(t *testing.T) {
+	e := New(Config{})
+	if err := e.LoadProgram(`
+CREATE TABLE Data (id int, v float);
+INSERT INTO Data VALUES (1, 10), (2, 80);
+MARKS = SELECT id * 40 AS center_x, v AS center_y, 4 AS radius, id FROM Data WHERE v < 100;
+`); err != nil {
+		t.Fatal(err)
+	}
+	count := func() int {
+		m, _ := e.Relation("MARKS")
+		return m.Len()
+	}
+	if count() != 2 {
+		t.Fatalf("marks = %d", count())
+	}
+	// data path
+	if err := e.Exec("INSERT INTO Data VALUES (3, 55)"); err != nil {
+		t.Fatal(err)
+	}
+	if count() != 3 {
+		t.Fatalf("marks after insert = %d", count())
+	}
+	if err := e.Exec("DELETE FROM Data WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if count() != 2 {
+		t.Fatalf("marks after delete = %d", count())
+	}
+	// predicate path: redefine the view with a tighter predicate
+	if err := e.Exec("MARKS = SELECT id * 40 AS center_x, v AS center_y, 4 AS radius, id FROM Data WHERE v < 60"); err != nil {
+		t.Fatal(err)
+	}
+	if count() != 1 {
+		t.Fatalf("marks after predicate change = %d", count())
+	}
+}
+
+// Coordinated views: "expressed by sharing relations between multiple marks
+// relation definitions" — two charts coordinate on one selection view.
+func TestTaxonomyCoordinatedViews(t *testing.T) {
+	e := New(Config{})
+	if err := e.LoadProgram(`
+CREATE TABLE Data (id int, a float, b float);
+INSERT INTO Data VALUES (1, 10, 90), (2, 60, 40), (3, 90, 10);
+C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.t, D.x, D.y);
+sel = SELECT id FROM Data WHERE a > (SELECT min(x) FROM C);
+CHART1 = SELECT a AS center_x, 10 AS center_y, 3 AS radius,
+         CASE WHEN id IN sel THEN 'red' ELSE 'gray' END AS fill, id FROM Data;
+CHART2 = SELECT b AS x, 20 AS y, 5 AS width, 30 AS height,
+         CASE WHEN id IN sel THEN 'red' ELSE 'gray' END AS fill, id FROM Data;
+`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FeedStream(events.Stream{
+		events.Mouse(events.MouseDown, 0, 50, 0),
+		events.Mouse(events.MouseUp, 1, 50, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, chart := range []string{"CHART1", "CHART2"} {
+		rel, _ := e.Relation(chart)
+		reds := 0
+		fills, _ := rel.Column("fill")
+		for _, f := range fills {
+			if f.AsString() == "red" {
+				reds++
+			}
+		}
+		if reds != 2 {
+			t.Fatalf("%s reds = %d, want 2 (both views coordinate on sel)", chart, reds)
+		}
+	}
+}
+
+// Undo and redo: "supported by the versioning semantics within and across
+// interactions". Undo twice walks back two interactions; redo is an undo of
+// the undo.
+func TestTaxonomyUndoRedo(t *testing.T) {
+	e := loadBrushing(t, Config{})
+	reds := func() int {
+		sp, _ := e.Relation("SPLOT_POINTS")
+		fills, _ := sp.Column("fill")
+		n := 0
+		for _, f := range fills {
+			if f.AsString() == "red" {
+				n++
+			}
+		}
+		return n
+	}
+	if _, err := e.FeedStream(selectDrag(0)); err != nil {
+		t.Fatal(err)
+	}
+	selectedState := reds()
+	if selectedState == 0 {
+		t.Fatal("selection missing")
+	}
+	if err := e.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if reds() != 0 {
+		t.Fatalf("undo left %d red marks", reds())
+	}
+	// redo = undo the undo (the versioning walk of §2.1.3)
+	if err := e.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if reds() != selectedState {
+		t.Fatalf("redo restored %d red marks, want %d", reds(), selectedState)
+	}
+}
+
+// Intra-interaction versions: a @tnow-1 reference exposes the previous
+// event's state, enabling per-event deltas such as velocity or mouse
+// trails.
+func TestTaxonomyTnowViews(t *testing.T) {
+	e := New(Config{})
+	if err := e.LoadProgram(`
+C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M*, MOUSE_UP AS U
+    RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+           (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+-- the number of events seen at the previous event (a trail length)
+trail = SELECT count(*) AS now, (SELECT count(*) FROM C@tnow-1) AS prev FROM C;
+`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FeedStream(events.Stream{
+		events.Mouse(events.MouseDown, 0, 0, 10),
+		events.Mouse(events.MouseMove, 1, 5, 10),
+		events.Mouse(events.MouseMove, 2, 9, 10),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := e.Relation("trail")
+	if tr.Len() != 1 {
+		t.Fatalf("trail rows = %d", tr.Len())
+	}
+	now, _ := tr.Rows[0][0].AsInt()
+	prev, _ := tr.Rows[0][1].AsInt()
+	if now != 3 || prev != 2 {
+		t.Fatalf("trail now=%d prev=%d, want 3/2", now, prev)
+	}
+}
+
+// Simultaneous interactions: a mouse interaction and a keyboard interaction
+// run in parallel (interleaved input feeds both NFAs); the engine warns
+// about neither since their alphabets are disjoint.
+func TestTaxonomyParallelInteractions(t *testing.T) {
+	e := New(Config{})
+	if err := e.LoadProgram(`
+CM = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M*, MOUSE_UP AS U
+     RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+            (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+CK = EVENT KEY_PRESS AS P RETURN (P.t, P.key);
+`); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Warnings()) != 0 {
+		t.Fatalf("disjoint interactions should not warn: %v", e.Warnings())
+	}
+	// Interleave: down, key, move, key, up.
+	stream := events.Stream{
+		events.Mouse(events.MouseDown, 0, 0, 10),
+		events.Key(1, "shift"),
+		events.Mouse(events.MouseMove, 2, 5, 10),
+		events.Key(3, "shift"),
+		events.Mouse(events.MouseUp, 4, 5, 10),
+	}
+	if _, err := e.FeedStream(stream); err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := e.Relation("CM")
+	ck, _ := e.Relation("CK")
+	if cm.Len() != 2 { // down + move rows
+		t.Fatalf("CM rows = %d\n%s", cm.Len(), cm)
+	}
+	// Single-event interactions commit per key press; the last key press
+	// leaves one row.
+	if ck.Len() != 1 {
+		t.Fatalf("CK rows = %d\n%s", ck.Len(), ck)
+	}
+	if ck.Rows[0][1].AsString() != "shift" {
+		t.Fatalf("CK key = %s", ck.Rows[0][1])
+	}
+}
+
+// Cross-version analysis: a view can compare the current interaction's
+// selection against the previous interaction's (vnow-1 vs vnow-2), the
+// "what changed since last time" idiom.
+func TestTaxonomyCrossVersionComparison(t *testing.T) {
+	e := loadBrushing(t, Config{})
+	if err := e.Exec(`newly = SELECT productId FROM selected
+		WHERE productId NOT IN (SELECT productId FROM selected@vnow-1)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FeedStream(selectDrag(0)); err != nil {
+		t.Fatal(err)
+	}
+	newly, _ := e.Relation("newly")
+	got := ids(t, newly, "productId")
+	if len(got) != 2 || !got[2] || !got[3] {
+		t.Fatalf("newly selected = %v, want {2,3}", got)
+	}
+	// A second identical drag selects nothing new.
+	if _, err := e.FeedStream(selectDrag(100)); err != nil {
+		t.Fatal(err)
+	}
+	newly, _ = e.Relation("newly")
+	if newly.Len() != 0 {
+		t.Fatalf("re-selection should yield no new products, got %d\n%s", newly.Len(), newly)
+	}
+	_ = relation.Current()
+}

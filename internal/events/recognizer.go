@@ -1,0 +1,379 @@
+package events
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+// Actions reports what a Feed call did, in order: a transaction may begin,
+// rows may be emitted into the compound event table, and the transaction may
+// commit or abort. The engine applies these to storage and view maintenance.
+type Actions struct {
+	Began     bool
+	Rows      []relation.Tuple
+	Committed bool
+	Aborted   bool
+	// Filtered is true when the event was dropped before reaching the NFA
+	// (wrong type, or a plain WHERE predicate failed), exposed for tests
+	// and debugging.
+	Filtered bool
+}
+
+// Recognizer is a compiled EVENT statement: a nondeterministic finite
+// automaton over the low-level event stream. One Recognizer instance tracks
+// one in-flight interaction at a time (the paper's single-user,
+// single-interaction model; the engine composes several recognizers for
+// multi-interaction programs).
+type Recognizer struct {
+	stmt   *parser.EventStmt
+	funcs  *expr.Registry
+	schema relation.Schema
+
+	// plainFilters[i] are the WHERE conjuncts that reference only the alias
+	// of sequence element i; failing one filters the event from the input
+	// stream (it never reaches the NFA).
+	plainFilters [][]expr.Expr
+	// quantified predicates, checked per matching event (FORALL) or at
+	// accept time (EXISTS).
+	quants []quantPred
+	// returnAt[g] is the sequence position whose events trigger emission
+	// of RETURN group g (the maximum position referenced by the group).
+	returnAt []int
+
+	// runtime state
+	active   bool
+	state    int // index of the last matched sequence element
+	bindings map[string]Event
+	exists   []bool // satisfied flags for EXISTS quantifiers
+}
+
+type quantPred struct {
+	forall  bool
+	varName string
+	overPos int
+	cond    expr.Expr
+	index   int // position within Recognizer.exists for EXISTS
+}
+
+// Compile validates an EVENT statement and builds its recognizer.
+func Compile(stmt *parser.EventStmt, funcs *expr.Registry) (*Recognizer, error) {
+	if len(stmt.Seq) == 0 {
+		return nil, fmt.Errorf("event %s: empty sequence", stmt.Name)
+	}
+	if stmt.Seq[len(stmt.Seq)-1].Kleene {
+		// §2.1.2: sequences must end with a non-repeating event so the NFA
+		// transitions to accept exactly once (no never-ending transactions).
+		return nil, fmt.Errorf("event %s: sequence must end with a non-repeating event", stmt.Name)
+	}
+	aliasPos := map[string]int{}
+	for i, el := range stmt.Seq {
+		key := strings.ToLower(el.Alias)
+		if _, dup := aliasPos[key]; dup {
+			return nil, fmt.Errorf("event %s: duplicate alias %q", stmt.Name, el.Alias)
+		}
+		aliasPos[key] = i
+	}
+	if len(stmt.Return) == 0 {
+		return nil, fmt.Errorf("event %s: RETURN requires at least one group", stmt.Name)
+	}
+	arity := len(stmt.Return[0])
+	for g, group := range stmt.Return {
+		if len(group) != arity {
+			return nil, fmt.Errorf("event %s: RETURN group %d has arity %d, want %d (groups must be union compatible)",
+				stmt.Name, g+1, len(group), arity)
+		}
+	}
+
+	r := &Recognizer{stmt: stmt, funcs: funcs, state: -1}
+
+	// Output schema from the first group's names.
+	cols := make([]relation.Column, arity)
+	for i, item := range stmt.Return[0] {
+		cols[i] = relation.Col(item.OutName(), relation.KindNull)
+	}
+	r.schema = relation.NewSchema(cols...)
+
+	// Classify WHERE predicates.
+	r.plainFilters = make([][]expr.Expr, len(stmt.Seq))
+	for _, f := range stmt.Filters {
+		if f.Quant == parser.QuantNone {
+			pos, err := singleAliasOf(f.Cond, aliasPos)
+			if err != nil {
+				return nil, fmt.Errorf("event %s: %w", stmt.Name, err)
+			}
+			r.plainFilters[pos] = append(r.plainFilters[pos], f.Cond)
+			continue
+		}
+		pos, ok := aliasPos[strings.ToLower(f.Over)]
+		if !ok {
+			return nil, fmt.Errorf("event %s: quantifier over unknown alias %q", stmt.Name, f.Over)
+		}
+		q := quantPred{
+			forall:  f.Quant == parser.QuantForall,
+			varName: f.Var,
+			overPos: pos,
+			cond:    f.Cond,
+		}
+		if !q.forall {
+			q.index = len(r.exists)
+			r.exists = append(r.exists, false)
+		}
+		r.quants = append(r.quants, q)
+	}
+
+	// Emission positions per RETURN group.
+	r.returnAt = make([]int, len(stmt.Return))
+	for g, group := range stmt.Return {
+		maxPos := -1
+		for _, item := range group {
+			for _, c := range expr.Columns(item.Expr) {
+				if c.Qualifier == "" {
+					continue
+				}
+				pos, ok := aliasPos[strings.ToLower(c.Qualifier)]
+				if !ok {
+					return nil, fmt.Errorf("event %s: RETURN references unknown alias %q", stmt.Name, c.Qualifier)
+				}
+				if pos > maxPos {
+					maxPos = pos
+				}
+			}
+		}
+		if maxPos < 0 {
+			// Constant-only group: fires on the first element.
+			maxPos = 0
+		}
+		r.returnAt[g] = maxPos
+	}
+	return r, nil
+}
+
+// singleAliasOf checks that a plain predicate references exactly one
+// sequence alias (per the paper, plain predicates are per-event filters).
+func singleAliasOf(e expr.Expr, aliasPos map[string]int) (int, error) {
+	pos := -1
+	for _, c := range expr.Columns(e) {
+		if c.Qualifier == "" {
+			return 0, fmt.Errorf("per-event predicate %s must qualify columns with an event alias", e.String())
+		}
+		p, ok := aliasPos[strings.ToLower(c.Qualifier)]
+		if !ok {
+			return 0, fmt.Errorf("predicate references unknown alias %q", c.Qualifier)
+		}
+		if pos >= 0 && p != pos {
+			return 0, fmt.Errorf("per-event predicate %s spans multiple aliases; use FORALL/EXISTS for cross-event conditions", e.String())
+		}
+		pos = p
+	}
+	if pos < 0 {
+		return 0, fmt.Errorf("predicate %s references no event alias", e.String())
+	}
+	return pos, nil
+}
+
+// Name returns the compound event table's name.
+func (r *Recognizer) Name() string { return r.stmt.Name }
+
+// Schema returns the compound event table's schema (from the first RETURN
+// group).
+func (r *Recognizer) Schema() relation.Schema { return r.schema }
+
+// Active reports whether an interaction transaction is in flight.
+func (r *Recognizer) Active() bool { return r.active }
+
+// FirstType returns the event type that starts the pattern; the engine's
+// static analysis uses it to flag ambiguous interaction pairs.
+func (r *Recognizer) FirstType() string { return r.stmt.Seq[0].Type }
+
+// Reset aborts any in-flight match and returns to the idle state.
+func (r *Recognizer) Reset() {
+	r.active = false
+	r.state = -1
+	r.bindings = nil
+	for i := range r.exists {
+		r.exists[i] = false
+	}
+}
+
+// Feed advances the NFA with one low-level event. See Actions for what the
+// caller must apply to storage. Feed is deterministic: identical event
+// streams produce identical action sequences.
+func (r *Recognizer) Feed(ev Event) (Actions, error) {
+	var acts Actions
+
+	pos, ok := r.matchPosition(ev)
+	if !ok {
+		acts.Filtered = true
+		return acts, nil
+	}
+	// Per-event plain filters: failure drops the event from the stream
+	// before the NFA sees it (§2.1.2).
+	passed, err := r.passesPlainFilters(pos, ev)
+	if err != nil {
+		return acts, err
+	}
+	if !passed {
+		acts.Filtered = true
+		return acts, nil
+	}
+
+	if !r.active {
+		r.active = true
+		r.bindings = make(map[string]Event, len(r.stmt.Seq))
+		for i := range r.exists {
+			r.exists[i] = false
+		}
+		acts.Began = true
+	}
+
+	r.state = pos
+	r.bindings[strings.ToLower(r.stmt.Seq[pos].Alias)] = ev
+
+	// Quantified predicates over this position.
+	for qi := range r.quants {
+		q := &r.quants[qi]
+		if q.overPos != pos {
+			continue
+		}
+		holds, err := r.evalQuant(q, ev)
+		if err != nil {
+			return acts, err
+		}
+		if q.forall && !holds {
+			// Reject state: abort the interaction transaction.
+			r.Reset()
+			acts.Aborted = true
+			return acts, nil
+		}
+		if !q.forall && holds {
+			r.exists[q.index] = true
+		}
+	}
+
+	// Emit RETURN groups anchored at this position.
+	for g, at := range r.returnAt {
+		if at != pos {
+			continue
+		}
+		row, err := r.evalGroup(g)
+		if err != nil {
+			return acts, err
+		}
+		acts.Rows = append(acts.Rows, row)
+	}
+
+	// Accept?
+	if pos == len(r.stmt.Seq)-1 {
+		for qi := range r.quants {
+			q := &r.quants[qi]
+			if !q.forall && !r.exists[q.index] {
+				r.Reset()
+				acts.Aborted = true
+				return acts, nil
+			}
+		}
+		r.Reset()
+		acts.Committed = true
+	}
+	return acts, nil
+}
+
+// matchPosition finds the sequence position this event matches given the
+// current state. Candidates are: the current element again if it is Kleene
+// (self-loop), then subsequent elements, where Kleene elements may be
+// skipped (zero repetitions) but the first non-Kleene element is a barrier.
+// Events matching no candidate are filtered.
+func (r *Recognizer) matchPosition(ev Event) (int, bool) {
+	var start int
+	switch {
+	case !r.active:
+		start = 0
+	case r.stmt.Seq[r.state].Kleene:
+		start = r.state
+	default:
+		start = r.state + 1
+	}
+	for i := start; i < len(r.stmt.Seq); i++ {
+		if r.stmt.Seq[i].Type == ev.Type {
+			return i, true
+		}
+		if !r.stmt.Seq[i].Kleene {
+			break // a required element cannot be skipped
+		}
+	}
+	return 0, false
+}
+
+func (r *Recognizer) passesPlainFilters(pos int, ev Event) (bool, error) {
+	if len(r.plainFilters[pos]) == 0 {
+		return true, nil
+	}
+	env := &eventEnv{
+		bindings: map[string]Event{strings.ToLower(r.stmt.Seq[pos].Alias): ev},
+	}
+	ctx := &expr.Context{Row: env, Funcs: r.funcs}
+	for _, f := range r.plainFilters[pos] {
+		v, err := f.Eval(ctx)
+		if err != nil {
+			return false, fmt.Errorf("event %s filter %s: %w", r.stmt.Name, f.String(), err)
+		}
+		if v.IsNull() || !v.Truthy() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (r *Recognizer) evalQuant(q *quantPred, ev Event) (bool, error) {
+	env := &eventEnv{bindings: r.bindings, extraName: strings.ToLower(q.varName), extra: ev}
+	ctx := &expr.Context{Row: env, Funcs: r.funcs}
+	v, err := q.cond.Eval(ctx)
+	if err != nil {
+		return false, fmt.Errorf("event %s quantifier %s: %w", r.stmt.Name, q.cond.String(), err)
+	}
+	return !v.IsNull() && v.Truthy(), nil
+}
+
+func (r *Recognizer) evalGroup(g int) (relation.Tuple, error) {
+	env := &eventEnv{bindings: r.bindings}
+	ctx := &expr.Context{Row: env, Funcs: r.funcs}
+	group := r.stmt.Return[g]
+	row := make(relation.Tuple, len(group))
+	for i, item := range group {
+		v, err := item.Expr.Eval(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("event %s RETURN item %s: %w", r.stmt.Name, item.Expr.String(), err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// eventEnv resolves alias.attr references against the current bindings; an
+// optional extra binding serves quantifier variables.
+type eventEnv struct {
+	bindings  map[string]Event
+	extraName string
+	extra     Event
+}
+
+// Lookup resolves "alias.attr"; bare names are not resolvable in event
+// context (the compiler enforces qualification).
+func (e *eventEnv) Lookup(q, n string) (relation.Value, bool) {
+	if q == "" {
+		return relation.Null(), false
+	}
+	lq := strings.ToLower(q)
+	if e.extraName != "" && lq == e.extraName {
+		return e.extra.Attr(n)
+	}
+	ev, ok := e.bindings[lq]
+	if !ok {
+		return relation.Null(), false
+	}
+	return ev.Attr(n)
+}

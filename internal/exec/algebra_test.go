@@ -1,0 +1,178 @@
+package exec
+
+// Property-based tests on relational-algebra invariants of the executor,
+// run over randomized small relations via testing/quick.
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// randomCatalog builds two single-column relations from generated values.
+func randomCatalog(as, bs []int8) memCatalog {
+	a := relation.New("A", relation.NewSchema(relation.Col("v", relation.KindInt)))
+	for _, v := range as {
+		a.MustAppend(relation.Tuple{relation.Int(int64(v))})
+	}
+	b := relation.New("B", relation.NewSchema(relation.Col("v", relation.KindInt)))
+	for _, v := range bs {
+		b.MustAppend(relation.Tuple{relation.Int(int64(v))})
+	}
+	return memCatalog{"a": a, "b": b}
+}
+
+func evalCount(t *testing.T, cat memCatalog, sql string) int {
+	t.Helper()
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	res, err := New(cat).RunQuery(q)
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	return res.Rel.Len()
+}
+
+func evalRel(t *testing.T, cat memCatalog, sql string) *relation.Relation {
+	t.Helper()
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	res, err := New(cat).RunQuery(q)
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	out := exportRel(res.Rel)
+	out.SortDeterministic()
+	return out
+}
+
+func exportRel(r *relation.Relation) *relation.Relation {
+	return StripQualifiers(r).Clone()
+}
+
+// Join commutativity: |A ⋈ B| = |B ⋈ A| on the equi-key.
+func TestPropertyJoinCommutative(t *testing.T) {
+	f := func(as, bs []int8) bool {
+		cat := randomCatalog(as, bs)
+		ab := evalCount(t, cat, "SELECT x.v FROM A AS x, B AS y WHERE x.v = y.v")
+		ba := evalCount(t, cat, "SELECT x.v FROM B AS x, A AS y WHERE x.v = y.v")
+		return ab == ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Union idempotence and commutativity under set semantics.
+func TestPropertyUnionLaws(t *testing.T) {
+	f := func(as, bs []int8) bool {
+		cat := randomCatalog(as, bs)
+		aa := evalRel(t, cat, "SELECT v FROM A UNION SELECT v FROM A")
+		da := evalRel(t, cat, "SELECT DISTINCT v FROM A")
+		if !relation.Equal(aa, da) {
+			return false
+		}
+		ab := evalRel(t, cat, "SELECT v FROM A UNION SELECT v FROM B")
+		ba := evalRel(t, cat, "SELECT v FROM B UNION SELECT v FROM A")
+		return relation.Equal(ab, ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Minus/intersect partition: (A MINUS B) ∪ (A INTERSECT B) = distinct A.
+func TestPropertyMinusIntersectPartition(t *testing.T) {
+	f := func(as, bs []int8) bool {
+		cat := randomCatalog(as, bs)
+		parts := evalRel(t, cat,
+			"(SELECT v FROM A MINUS SELECT v FROM B) UNION (SELECT v FROM A INTERSECT SELECT v FROM B)")
+		da := evalRel(t, cat, "SELECT DISTINCT v FROM A")
+		return relation.Equal(parts, da)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Selection splits: |σ(p)(A)| + |σ(¬p)(A)| = |A| for NULL-free data.
+func TestPropertySelectionPartition(t *testing.T) {
+	f := func(as []int8, cut int8) bool {
+		cat := randomCatalog(as, nil)
+		lo := evalCount(t, cat, fmt.Sprintf("SELECT v FROM A WHERE v < %d", cut))
+		hi := evalCount(t, cat, fmt.Sprintf("SELECT v FROM A WHERE NOT (v < %d)", cut))
+		return lo+hi == len(as)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Aggregate consistency: sum over groups equals the global sum; counts add
+// up to the row count.
+func TestPropertyAggregateConsistency(t *testing.T) {
+	f := func(as []int8) bool {
+		if len(as) == 0 {
+			return true
+		}
+		cat := randomCatalog(as, nil)
+		grouped := evalRel(t, cat, "SELECT v % 3 AS g, sum(v) AS s, count(*) AS n FROM A GROUP BY v % 3")
+		var sumOfSums, sumOfCounts int64
+		for _, row := range grouped.Rows {
+			s, _ := row[1].AsInt()
+			n, _ := row[2].AsInt()
+			sumOfSums += s
+			sumOfCounts += n
+		}
+		global := evalRel(t, cat, "SELECT sum(v) AS s FROM A")
+		gs, _ := global.Rows[0][0].AsInt()
+		return sumOfSums == gs && sumOfCounts == int64(len(as))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The optimizer never changes results: optimized and unoptimized plans are
+// bag-equal on a join/filter/aggregate query.
+func TestPropertyOptimizerPreservesSemantics(t *testing.T) {
+	f := func(as, bs []int8, cut int8) bool {
+		cat := randomCatalog(as, bs)
+		sql := fmt.Sprintf(
+			"SELECT x.v, count(*) AS n FROM A AS x, B AS y WHERE x.v = y.v AND x.v > %d AND 1 = 1 GROUP BY x.v", cut)
+		q, err := parser.ParseQuery(sql)
+		if err != nil {
+			return false
+		}
+		// Optimized (the default executor path).
+		opt, err := New(cat).RunQuery(q)
+		if err != nil {
+			return false
+		}
+		// Unoptimized: build without Optimize.
+		p, err := plan.Build(q, cat)
+		if err != nil {
+			return false
+		}
+		raw, err := New(cat).Run(p)
+		if err != nil {
+			return false
+		}
+		a := exportRel(opt.Rel)
+		b := exportRel(raw.Rel)
+		a.SortDeterministic()
+		b.SortDeterministic()
+		return relation.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/events"
+)
+
+// BuildBrushingProgram generates the Figure 2 / DeVIL 1-3 linked-brushing
+// program over n synthetic products: a revenue/profit scatterplot linked to
+// a price histogram through the selected view, with a mouse-drag selection
+// interaction. Revenue and profit span [0,100]; the scatterplot maps
+// revenue to x∈[20,380] and profit to y∈[280,20].
+func BuildBrushingProgram(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("CREATE TABLE Sales (productId int, price float, profit float, revenue float, productName string);\n")
+	b.WriteString("INSERT INTO Sales VALUES\n")
+	for i := 1; i <= n; i++ {
+		if i > 1 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, "  (%d, %.2f, %.2f, %.2f, 'p%d')",
+			i, 20+rng.Float64()*80, rng.Float64()*100, rng.Float64()*100, i)
+	}
+	b.WriteString(";\n")
+	b.WriteString(`
+CREATE TABLE scale_x (lo float, hi float);
+INSERT INTO scale_x VALUES (0, 100);
+CREATE TABLE scale_y (lo float, hi float);
+INSERT INTO scale_y VALUES (0, 100);
+
+-- DeVIL 1: static scatterplot
+SPLOT_POINTS =
+  SELECT 4 AS radius, 'gray' AS stroke, 'gray' AS fill,
+         linear_scale(Sales.revenue, sx.lo, sx.hi, 20, 380) AS center_x,
+         linear_scale(Sales.profit, sy.lo, sy.hi, 280, 20) AS center_y,
+         productId
+  FROM Sales, scale_x AS sx, scale_y AS sy;
+
+-- DeVIL 2: the drag compound event
+C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M*, MOUSE_UP AS U
+    WHERE FORALL m IN M m.y > 5
+    RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+           (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+
+-- DeVIL 3: hit testing against the pre-interaction marks
+selected =
+  SELECT DISTINCT SP.productId
+  FROM C, SPLOT_POINTS@vnow-1 AS SP
+  WHERE in_rectangle(SP.center_x, SP.center_y,
+        (SELECT min(x) FROM C), (SELECT min(y) FROM C),
+        (SELECT max(x + dx) FROM C), (SELECT max(y + dy) FROM C));
+
+SPLOT_POINTS =
+  SELECT 4 AS radius, 'gray' AS stroke, 'gray' AS fill,
+         linear_scale(Sales.revenue, sx.lo, sx.hi, 20, 380) AS center_x,
+         linear_scale(Sales.profit, sy.lo, sy.hi, 280, 20) AS center_y,
+         productId
+  FROM Sales, scale_x AS sx, scale_y AS sy
+  WHERE productId NOT IN selected
+  UNION
+  SELECT 4 AS radius, 'red' AS stroke, 'red' AS fill,
+         linear_scale(Sales.revenue, sx.lo, sx.hi, 20, 380) AS center_x,
+         linear_scale(Sales.profit, sy.lo, sy.hi, 280, 20) AS center_y,
+         productId
+  FROM Sales, scale_x AS sx, scale_y AS sy
+  WHERE productId IN selected;
+
+HIST =
+  SELECT productId * 8 AS x, 280 - price AS y, 6 AS width, price AS height,
+         CASE WHEN productId IN selected THEN 'red' ELSE 'blue' END AS fill,
+         productId
+  FROM Sales;
+
+P  = render(SELECT * FROM SPLOT_POINTS);
+P2 = render(SELECT x, y, width, height, fill FROM HIST, 'rect');
+`)
+	return b.String()
+}
+
+// BuildTraceProgram generates the DeVIL 4 variant: the same linked brushing
+// expressed with a BACKWARD TRACE and the {Sales∖B, B} partition, with no
+// productId annotations in the marks.
+func BuildTraceProgram(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("CREATE TABLE Sales (productId int, price float, profit float, revenue float, productName string);\n")
+	b.WriteString("INSERT INTO Sales VALUES\n")
+	for i := 1; i <= n; i++ {
+		if i > 1 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, "  (%d, %.2f, %.2f, %.2f, 'p%d')",
+			i, 20+rng.Float64()*80, rng.Float64()*100, rng.Float64()*100, i)
+	}
+	b.WriteString(";\n")
+	b.WriteString(`
+CREATE TABLE scale_x (lo float, hi float);
+INSERT INTO scale_x VALUES (0, 100);
+CREATE TABLE scale_y (lo float, hi float);
+INSERT INTO scale_y VALUES (0, 100);
+
+SPLOT_POINTS =
+  SELECT 4 AS radius, 'gray' AS stroke, 'gray' AS fill,
+         linear_scale(Sales.revenue, sx.lo, sx.hi, 20, 380) AS center_x,
+         linear_scale(Sales.profit, sy.lo, sy.hi, 280, 20) AS center_y
+  FROM Sales, scale_x AS sx, scale_y AS sy;
+
+C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M*, MOUSE_UP AS U
+    RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+           (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+
+B = BACKWARD TRACE
+    FROM SPLOT_POINTS@vnow-1 AS SP, C
+    WHERE in_rectangle(SP.center_x, SP.center_y,
+          (SELECT min(x) FROM C), (SELECT min(y) FROM C),
+          (SELECT max(x + dx) FROM C), (SELECT max(y + dy) FROM C))
+    TO Sales;
+
+▷ SPLOT_POINTS without productId
+SPLOT_POINTS =
+  SELECT 4 AS radius, 'red' AS stroke, 'red' AS fill,
+         linear_scale(B.revenue, sx.lo, sx.hi, 20, 380) AS center_x,
+         linear_scale(B.profit, sy.lo, sy.hi, 280, 20) AS center_y
+  FROM B, scale_x AS sx, scale_y AS sy
+  UNION
+  SELECT 4 AS radius, 'gray' AS stroke, 'gray' AS fill,
+         linear_scale(rest.revenue, sx.lo, sx.hi, 20, 380) AS center_x,
+         linear_scale(rest.profit, sy.lo, sy.hi, 280, 20) AS center_y
+  FROM (Sales MINUS B) AS rest, scale_x AS sx, scale_y AS sy;
+
+P = render(SELECT * FROM SPLOT_POINTS);
+`)
+	return b.String()
+}
+
+// BrushDrag returns a drag selecting the rectangle (x0,y0)-(x1,y1) in
+// screen space.
+func BrushDrag(t0, x0, y0, x1, y1 int64) events.Stream {
+	return events.Drag(t0, x0, y0, x1, y1, 4)
+}
+
+// NewBrushingEngine loads the DeVIL 1-3 program; NewTraceEngine the DeVIL 4
+// variant.
+func NewBrushingEngine(n int, seed int64, cfg core.Config) (*core.Engine, error) {
+	e := core.New(cfg)
+	if err := e.LoadProgram(BuildBrushingProgram(n, seed)); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// NewTraceEngine loads the DeVIL 4 provenance-based program.
+func NewTraceEngine(n int, seed int64, cfg core.Config) (*core.Engine, error) {
+	e := core.New(cfg)
+	if err := e.LoadProgram(BuildTraceProgram(n, seed)); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,323 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Func is a pure scalar user-defined function. DeVIL restricts UDFs to pure
+// functions without side effects (§2.1.1); the render table UDF is the only
+// exception and is handled by the engine, not this registry.
+type Func struct {
+	Name    string
+	MinArgs int
+	MaxArgs int // -1 means variadic
+	Fn      func(args []relation.Value) (relation.Value, error)
+	Doc     string
+}
+
+// Apply checks arity and invokes the function.
+func (f Func) Apply(args []relation.Value) (relation.Value, error) {
+	if len(args) < f.MinArgs || (f.MaxArgs >= 0 && len(args) > f.MaxArgs) {
+		return relation.Null(), fmt.Errorf("%s: got %d args, want %d..%d", f.Name, len(args), f.MinArgs, f.MaxArgs)
+	}
+	return f.Fn(args)
+}
+
+// Registry resolves scalar function names case-insensitively.
+type Registry struct {
+	m map[string]Func
+}
+
+// NewRegistry returns a registry preloaded with DeVIL's builtin scalar
+// functions, including the visualization UDFs from the paper
+// (linear_scale, in_rectangle).
+func NewRegistry() *Registry {
+	r := &Registry{m: make(map[string]Func)}
+	for _, f := range builtins() {
+		r.Register(f)
+	}
+	return r
+}
+
+// Register installs or replaces a function.
+func (r *Registry) Register(f Func) {
+	r.m[strings.ToLower(f.Name)] = f
+}
+
+// Lookup resolves a function by name.
+func (r *Registry) Lookup(name string) (Func, bool) {
+	f, ok := r.m[strings.ToLower(name)]
+	return f, ok
+}
+
+// Names lists registered function names (unordered), for diagnostics.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.m))
+	for k := range r.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func numArg(name string, args []relation.Value, i int) (float64, error) {
+	f, ok := args[i].AsFloat()
+	if !ok {
+		return 0, fmt.Errorf("%s: argument %d is not numeric: %s", name, i+1, args[i])
+	}
+	return f, nil
+}
+
+// anyNull reports whether any argument is NULL; most numeric builtins
+// propagate NULL like operators do.
+func anyNull(args []relation.Value) bool {
+	for _, a := range args {
+		if a.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func numeric1(name string, fn func(float64) float64) Func {
+	return Func{Name: name, MinArgs: 1, MaxArgs: 1, Fn: func(args []relation.Value) (relation.Value, error) {
+		if anyNull(args) {
+			return relation.Null(), nil
+		}
+		f, err := numArg(name, args, 0)
+		if err != nil {
+			return relation.Null(), err
+		}
+		return relation.Float(fn(f)), nil
+	}}
+}
+
+func builtins() []Func {
+	return []Func{
+		// --- Visualization UDFs from the paper ---
+		{
+			Name: "linear_scale", MinArgs: 5, MaxArgs: 5,
+			Doc: "linear_scale(v, domain_lo, domain_hi, range_lo, range_hi) maps v linearly from the data domain to the pixel range (DeVIL 1).",
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				if anyNull(args) {
+					return relation.Null(), nil
+				}
+				var f [5]float64
+				for i := range f {
+					v, err := numArg("linear_scale", args, i)
+					if err != nil {
+						return relation.Null(), err
+					}
+					f[i] = v
+				}
+				v, d0, d1, r0, r1 := f[0], f[1], f[2], f[3], f[4]
+				if d1 == d0 {
+					return relation.Float((r0 + r1) / 2), nil
+				}
+				return relation.Float(r0 + (v-d0)/(d1-d0)*(r1-r0)), nil
+			},
+		},
+		{
+			Name: "in_rectangle", MinArgs: 6, MaxArgs: 6,
+			Doc: "in_rectangle(x, y, x0, y0, x1, y1) tests whether point (x,y) lies inside the rectangle spanned by the two corners, in any corner order (DeVIL 3 hit testing).",
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				if anyNull(args) {
+					return relation.Bool(false), nil
+				}
+				var f [6]float64
+				for i := range f {
+					v, err := numArg("in_rectangle", args, i)
+					if err != nil {
+						return relation.Null(), err
+					}
+					f[i] = v
+				}
+				x, y := f[0], f[1]
+				x0, x1 := math.Min(f[2], f[4]), math.Max(f[2], f[4])
+				y0, y1 := math.Min(f[3], f[5]), math.Max(f[3], f[5])
+				return relation.Bool(x >= x0 && x <= x1 && y >= y0 && y <= y1), nil
+			},
+		},
+		{
+			Name: "clamp", MinArgs: 3, MaxArgs: 3,
+			Doc: "clamp(v, lo, hi) restricts v to [lo, hi].",
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				if anyNull(args) {
+					return relation.Null(), nil
+				}
+				v, err := numArg("clamp", args, 0)
+				if err != nil {
+					return relation.Null(), err
+				}
+				lo, err := numArg("clamp", args, 1)
+				if err != nil {
+					return relation.Null(), err
+				}
+				hi, err := numArg("clamp", args, 2)
+				if err != nil {
+					return relation.Null(), err
+				}
+				return relation.Float(math.Max(lo, math.Min(hi, v))), nil
+			},
+		},
+		// --- General numerics ---
+		numeric1("abs", math.Abs),
+		numeric1("sqrt", math.Sqrt),
+		numeric1("floor", math.Floor),
+		numeric1("ceil", math.Ceil),
+		numeric1("round", math.Round),
+		numeric1("exp", math.Exp),
+		numeric1("ln", math.Log),
+		{
+			Name: "pow", MinArgs: 2, MaxArgs: 2,
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				if anyNull(args) {
+					return relation.Null(), nil
+				}
+				a, err := numArg("pow", args, 0)
+				if err != nil {
+					return relation.Null(), err
+				}
+				b, err := numArg("pow", args, 1)
+				if err != nil {
+					return relation.Null(), err
+				}
+				return relation.Float(math.Pow(a, b)), nil
+			},
+		},
+		{
+			Name: "least", MinArgs: 1, MaxArgs: -1,
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				return extremum(args, -1), nil
+			},
+		},
+		{
+			Name: "greatest", MinArgs: 1, MaxArgs: -1,
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				return extremum(args, 1), nil
+			},
+		},
+		// --- Strings ---
+		{
+			Name: "length", MinArgs: 1, MaxArgs: 1,
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				if anyNull(args) {
+					return relation.Null(), nil
+				}
+				return relation.Int(int64(len(args[0].AsString()))), nil
+			},
+		},
+		{
+			Name: "upper", MinArgs: 1, MaxArgs: 1,
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				if anyNull(args) {
+					return relation.Null(), nil
+				}
+				return relation.String(strings.ToUpper(args[0].AsString())), nil
+			},
+		},
+		{
+			Name: "lower", MinArgs: 1, MaxArgs: 1,
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				if anyNull(args) {
+					return relation.Null(), nil
+				}
+				return relation.String(strings.ToLower(args[0].AsString())), nil
+			},
+		},
+		{
+			Name: "substr", MinArgs: 2, MaxArgs: 3,
+			Doc: "substr(s, start[, len]) with 1-based start, SQLite-style.",
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				if anyNull(args) {
+					return relation.Null(), nil
+				}
+				s := args[0].AsString()
+				start, ok := args[1].AsInt()
+				if !ok {
+					return relation.Null(), fmt.Errorf("substr: start not an int")
+				}
+				i := int(start) - 1
+				if i < 0 {
+					i = 0
+				}
+				if i > len(s) {
+					i = len(s)
+				}
+				j := len(s)
+				if len(args) == 3 {
+					n, ok := args[2].AsInt()
+					if !ok {
+						return relation.Null(), fmt.Errorf("substr: length not an int")
+					}
+					if j2 := i + int(n); j2 < j {
+						j = j2
+					}
+					if j < i {
+						j = i
+					}
+				}
+				return relation.String(s[i:j]), nil
+			},
+		},
+		// --- NULL handling / conditionals ---
+		{
+			Name: "coalesce", MinArgs: 1, MaxArgs: -1,
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				for _, a := range args {
+					if !a.IsNull() {
+						return a, nil
+					}
+				}
+				return relation.Null(), nil
+			},
+		},
+		{
+			Name: "iif", MinArgs: 3, MaxArgs: 3,
+			Doc: "iif(cond, a, b) returns a when cond is truthy, else b.",
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				if !args[0].IsNull() && args[0].Truthy() {
+					return args[1], nil
+				}
+				return args[2], nil
+			},
+		},
+		{
+			Name: "sign", MinArgs: 1, MaxArgs: 1,
+			Fn: func(args []relation.Value) (relation.Value, error) {
+				if anyNull(args) {
+					return relation.Null(), nil
+				}
+				f, err := numArg("sign", args, 0)
+				if err != nil {
+					return relation.Null(), err
+				}
+				switch {
+				case f > 0:
+					return relation.Int(1), nil
+				case f < 0:
+					return relation.Int(-1), nil
+				default:
+					return relation.Int(0), nil
+				}
+			},
+		},
+	}
+}
+
+// extremum returns the least (dir<0) or greatest (dir>0) non-null argument.
+func extremum(args []relation.Value, dir int) relation.Value {
+	best := relation.Null()
+	for _, a := range args {
+		if a.IsNull() {
+			continue
+		}
+		if best.IsNull() || a.Compare(best)*dir > 0 {
+			best = a
+		}
+	}
+	return best
+}

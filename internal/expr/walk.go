@@ -1,0 +1,173 @@
+package expr
+
+// Walk visits every node in the tree in depth-first pre-order. If fn returns
+// false the node's children are skipped. Walk is how the planner discovers
+// column references, aggregates, and unresolved subqueries.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *Binary:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *Unary:
+		Walk(n.X, fn)
+	case *Call:
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	case *Agg:
+		if n.Arg != nil {
+			Walk(n.Arg, fn)
+		}
+	case *IsNull:
+		Walk(n.X, fn)
+	case *Case:
+		for _, w := range n.Whens {
+			Walk(w.Cond, fn)
+			Walk(w.Result, fn)
+		}
+		if n.Else != nil {
+			Walk(n.Else, fn)
+		}
+	case *In:
+		Walk(n.X, fn)
+	}
+}
+
+// Transform rebuilds the tree bottom-up, replacing each node with fn(node).
+// fn receives a node whose children have already been transformed. Transform
+// never mutates the input tree; it is used for subquery resolution, constant
+// folding, and predicate rewrites.
+func Transform(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *Binary:
+		return fn(&Binary{Op: n.Op, L: Transform(n.L, fn), R: Transform(n.R, fn)})
+	case *Unary:
+		return fn(&Unary{Op: n.Op, X: Transform(n.X, fn)})
+	case *Call:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = Transform(a, fn)
+		}
+		return fn(&Call{Name: n.Name, Args: args})
+	case *Agg:
+		var arg Expr
+		if n.Arg != nil {
+			arg = Transform(n.Arg, fn)
+		}
+		return fn(&Agg{Name: n.Name, Arg: arg, Distinct: n.Distinct})
+	case *IsNull:
+		return fn(&IsNull{X: Transform(n.X, fn), Negate: n.Negate})
+	case *Case:
+		whens := make([]When, len(n.Whens))
+		for i, w := range n.Whens {
+			whens[i] = When{Cond: Transform(w.Cond, fn), Result: Transform(w.Result, fn)}
+		}
+		var els Expr
+		if n.Else != nil {
+			els = Transform(n.Else, fn)
+		}
+		return fn(&Case{Whens: whens, Else: els})
+	case *In:
+		return fn(&In{X: Transform(n.X, fn), Source: n.Source, Negate: n.Negate})
+	default:
+		return fn(e)
+	}
+}
+
+// Columns collects every distinct column reference in the expression, in
+// first-appearance order.
+func Columns(e Expr) []*Column {
+	var out []*Column
+	seen := make(map[string]bool)
+	Walk(e, func(x Expr) bool {
+		if c, ok := x.(*Column); ok {
+			key := c.Qualifier + "." + c.Name
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, c)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// HasAggregate reports whether the expression contains an aggregate call.
+func HasAggregate(e Expr) bool {
+	found := false
+	Walk(e, func(x Expr) bool {
+		if _, ok := x.(*Agg); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Aggregates collects all aggregate nodes in the expression.
+func Aggregates(e Expr) []*Agg {
+	var out []*Agg
+	Walk(e, func(x Expr) bool {
+		if a, ok := x.(*Agg); ok {
+			out = append(out, a)
+		}
+		return true
+	})
+	return out
+}
+
+// Conjuncts splits a predicate on top-level ANDs, the unit the optimizer
+// pushes down independently.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll joins predicates with AND; nil for an empty slice.
+func AndAll(preds []Expr) Expr {
+	var out Expr
+	for _, p := range preds {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = &Binary{Op: OpAnd, L: out, R: p}
+		}
+	}
+	return out
+}
+
+// IsConstant reports whether the expression references no columns,
+// aggregates, or unresolved subqueries — i.e. it can be folded at plan time.
+func IsConstant(e Expr) bool {
+	constant := true
+	Walk(e, func(x Expr) bool {
+		switch x.(type) {
+		case *Column, *Agg, *Subquery:
+			constant = false
+			return false
+		case *In:
+			// membership depends on the (possibly unresolved) source
+			if _, ok := x.(*In).Source.(*SetSource); !ok {
+				constant = false
+				return false
+			}
+		}
+		return true
+	})
+	return constant
+}

@@ -1,0 +1,282 @@
+package parser
+
+import (
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/relation"
+)
+
+// Statement is a parsed DeVIL statement.
+type Statement interface{ stmt() }
+
+// QueryExpr is the right-hand side of an assignment or a standalone query.
+type QueryExpr interface{ query() }
+
+// CreateTableStmt declares a base relation: CREATE TABLE name (col kind, ...).
+type CreateTableStmt struct {
+	Name   string
+	Schema relation.Schema
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// InsertStmt inserts literal rows or query results into a base relation.
+type InsertStmt struct {
+	Table   string
+	Columns []string      // optional column list
+	Rows    [][]expr.Expr // literal VALUES rows (constant expressions)
+	Query   QueryExpr     // INSERT INTO t SELECT ... (exclusive with Rows)
+}
+
+func (*InsertStmt) stmt() {}
+
+// DeleteStmt removes rows matching a predicate (utility for examples/tests;
+// view maintenance reacts to deletes like any other base change).
+type DeleteStmt struct {
+	Table string
+	Where expr.Expr // nil deletes all rows
+}
+
+func (*DeleteStmt) stmt() {}
+
+// AssignStmt is DeVIL's core statement form: `name = <query>` defines the
+// view `name` (Fig 3: each statement is an assignment whose RHS is an
+// operator).
+type AssignStmt struct {
+	Name  string
+	Query QueryExpr
+}
+
+func (*AssignStmt) stmt() {}
+
+// EventStmt declares a compound event stream (DeVIL 2):
+//
+//	C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+//	    WHERE FORALL m IN M m.y > 5
+//	    RETURN (D.t, D.x, ...), (M.t, ...)
+type EventStmt struct {
+	Name    string
+	Seq     []SeqElem
+	Filters []EventPred
+	Return  [][]SelectItem
+}
+
+func (*EventStmt) stmt() {}
+
+// SeqElem is one element of an event sequence pattern.
+type SeqElem struct {
+	Type   string // low-level event type, e.g. MOUSE_DOWN
+	Alias  string // binding name used by predicates and RETURN
+	Kleene bool   // repeated element (MOUSE_MOVE*)
+}
+
+// Quantifier classifies event predicates.
+type Quantifier uint8
+
+// Event predicate quantifiers. Plain predicates filter events from the input
+// stream; quantified predicates transition the NFA to a reject state on
+// failure (§2.1.2).
+const (
+	QuantNone Quantifier = iota
+	QuantForall
+	QuantExists
+)
+
+// EventPred is one conjunct of an EVENT statement's WHERE clause.
+type EventPred struct {
+	Quant Quantifier
+	Var   string // bound variable for quantified predicates
+	Over  string // sequence alias ranged over (Kleene elements)
+	Cond  expr.Expr
+}
+
+// SelectStmt is a SELECT core. From may be empty for constant selects.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    expr.Expr
+	GroupBy  []expr.Expr
+	Having   expr.Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 = no limit
+}
+
+func (*SelectStmt) query() {}
+
+// SelectItem is one projection: an expression with an optional alias, or a
+// star (optionally qualified: S.*).
+type SelectItem struct {
+	Expr          expr.Expr
+	Alias         string
+	Star          bool
+	StarQualifier string
+}
+
+// OutName returns the output column name: the alias if given, else the
+// column's own name for bare references, else a rendering of the expression.
+func (s SelectItem) OutName() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if c, ok := s.Expr.(*expr.Column); ok {
+		return c.Name
+	}
+	if s.Expr != nil {
+		return s.Expr.String()
+	}
+	return "*"
+}
+
+// TableRef names an input relation (with optional version suffix and alias)
+// or an inline subquery.
+type TableRef struct {
+	Name    string
+	Alias   string
+	Version relation.VersionRef
+	Sub     QueryExpr // non-nil for (SELECT ...) AS alias
+}
+
+// BindName returns the name the relation's columns are qualified under.
+func (t TableRef) BindName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// SetOpKind enumerates set operations.
+type SetOpKind uint8
+
+// Set operations supported between SELECT cores.
+const (
+	SetUnion SetOpKind = iota
+	SetMinus
+	SetIntersect
+)
+
+// String names the operation.
+func (k SetOpKind) String() string {
+	switch k {
+	case SetUnion:
+		return "UNION"
+	case SetMinus:
+		return "MINUS"
+	default:
+		return "INTERSECT"
+	}
+}
+
+// SetOp combines two queries: UNION [ALL] | MINUS | INTERSECT. UNION without
+// ALL deduplicates, as in SQL.
+type SetOp struct {
+	Op   SetOpKind
+	All  bool
+	L, R QueryExpr
+}
+
+func (*SetOp) query() {}
+
+// RenderStmt is `P = render(<query> [, 'marktype'])` — the render table UDF
+// that maps a marks relation to the pixels table (§2.1.1). When MarkType is
+// empty the renderer infers the mark type from the schema.
+type RenderStmt struct {
+	Inner    QueryExpr
+	MarkType string
+}
+
+func (*RenderStmt) query() {}
+
+// TraceStmt is the provenance statement of §3.1:
+//
+//	B = BACKWARD TRACE FROM SPLOT_POINTS@vnow-1 AS SP, C
+//	    WHERE in_rectangle(...) TO Sales;
+//
+// FORWARD TRACE mirrors it, tracing from base rows to view outputs.
+type TraceStmt struct {
+	Backward bool
+	From     []TableRef
+	Where    expr.Expr
+	To       string
+}
+
+func (*TraceStmt) query() {}
+
+// RelRefQuery lets a bare relation name appear where a query is expected
+// (e.g. `X = SomeView` aliasing, or render(MARKS)).
+type RelRefQuery struct {
+	Ref TableRef
+}
+
+func (*RelRefQuery) query() {}
+
+// QueryString renders a compact one-line description of a query for logs and
+// error messages.
+func QueryString(q QueryExpr) string {
+	switch n := q.(type) {
+	case *SelectStmt:
+		var b strings.Builder
+		b.WriteString("SELECT ")
+		for i, it := range n.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if it.Star {
+				if it.StarQualifier != "" {
+					b.WriteString(it.StarQualifier + ".")
+				}
+				b.WriteString("*")
+			} else {
+				b.WriteString(it.Expr.String())
+				if it.Alias != "" {
+					b.WriteString(" AS " + it.Alias)
+				}
+			}
+		}
+		if len(n.From) > 0 {
+			b.WriteString(" FROM ")
+			for i, f := range n.From {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				if f.Sub != nil {
+					b.WriteString("(" + QueryString(f.Sub) + ")")
+				} else {
+					b.WriteString(f.Name + f.Version.String())
+				}
+				if f.Alias != "" {
+					b.WriteString(" AS " + f.Alias)
+				}
+			}
+		}
+		if n.Where != nil {
+			b.WriteString(" WHERE " + n.Where.String())
+		}
+		return b.String()
+	case *SetOp:
+		op := n.Op.String()
+		if n.All {
+			op += " ALL"
+		}
+		return QueryString(n.L) + " " + op + " " + QueryString(n.R)
+	case *RenderStmt:
+		return "render(" + QueryString(n.Inner) + ")"
+	case *TraceStmt:
+		dir := "BACKWARD"
+		if !n.Backward {
+			dir = "FORWARD"
+		}
+		return dir + " TRACE ... TO " + n.To
+	case *RelRefQuery:
+		return n.Ref.Name + n.Ref.Version.String()
+	default:
+		return "?"
+	}
+}

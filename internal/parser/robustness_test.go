@@ -1,0 +1,83 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the parser never panics, whatever bytes it is fed — it either
+// produces statements or returns an error. DVMS accepts programs from
+// hosts, so front-end robustness matters.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", src, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(src)
+		_, _ = ParseQuery(src)
+		_, _ = ParseExpr(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mutations of a valid program also must not panic, and truncations must
+// error rather than mis-parse.
+func TestParserTruncationsError(t *testing.T) {
+	src := `selected = SELECT DISTINCT SP.productId
+  FROM C, SPLOT_POINTS@vnow-1 AS SP
+  WHERE in_rectangle(SP.center_x, SP.center_y, 0, 0, (SELECT max(x) FROM C), 100)`
+	for cut := 1; cut < len(src); cut += 7 {
+		trunc := src[:cut]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on truncation at %d: %v", cut, r)
+				}
+			}()
+			_, _ = Parse(trunc)
+		}()
+	}
+	// A fully balanced prefix that is a complete statement still parses.
+	if _, err := Parse("x = SELECT 1 AS a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Deeply nested expressions parse without stack trouble at reasonable
+// depths.
+func TestParserDeepNesting(t *testing.T) {
+	depth := 200
+	src := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil {
+		t.Fatal("nil expression")
+	}
+	// unbalanced version errors cleanly
+	if _, err := ParseExpr(strings.Repeat("(", depth) + "1"); err == nil {
+		t.Fatal("unbalanced parens should error")
+	}
+}
+
+// Keywords are case-insensitive throughout.
+func TestKeywordCaseInsensitivity(t *testing.T) {
+	variants := []string{
+		"x = select a from t where a > 1 group by a having count(*) > 0 order by a limit 1",
+		"X = SELECT a FROM t WHERE a > 1 GROUP BY a HAVING count(*) > 0 ORDER BY a LIMIT 1",
+		"x = SeLeCt a FrOm t WhErE a > 1 gRoUp By a HaViNg count(*) > 0 oRdEr By a LiMiT 1",
+	}
+	for _, src := range variants {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("variant failed: %q: %v", src, err)
+		}
+	}
+}

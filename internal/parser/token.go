@@ -1,0 +1,295 @@
+// Package parser implements the DeVIL language front end: a lexer and a
+// recursive-descent parser producing statement ASTs over the expression
+// trees of internal/expr.
+//
+// The surface language follows the paper's listings (DeVIL 1-4): SQL-like
+// SELECT statements with UNION/MINUS/INTERSECT, assignment statements that
+// define views, EVENT statements with Kleene closure and FORALL/EXISTS
+// quantifiers, BACKWARD/FORWARD TRACE statements, render() calls, and
+// @vnow-i / @tnow-j version suffixes on relation references.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TokKind enumerates lexical token classes.
+type TokKind uint8
+
+// Token kinds. Keywords are lexed as TokIdent and matched case-insensitively
+// by the parser, matching SQL convention.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokComma
+	TokSemi
+	TokDot
+	TokAt
+	TokStar
+	TokPlus
+	TokMinus
+	TokSlash
+	TokPercent
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokConcat
+)
+
+// Token is one lexical unit with its source position (1-based line/col).
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+// Is reports whether the token is an identifier matching the keyword
+// case-insensitively.
+func (t Token) Is(keyword string) bool {
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, keyword)
+}
+
+// lexer scans DeVIL source into tokens. Comments: `--`, `//`, and the
+// paper's `▷` marker, all to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("lex error at %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+func (l *lexer) advance(r rune, size int) {
+	l.pos += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r, size := l.peekRune()
+		if size == 0 {
+			return
+		}
+		switch {
+		case unicode.IsSpace(r):
+			l.advance(r, size)
+		case r == '▷':
+			l.skipLine()
+		case r == '-' && strings.HasPrefix(l.src[l.pos:], "--"):
+			l.skipLine()
+		case r == '/' && strings.HasPrefix(l.src[l.pos:], "//"):
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipLine() {
+	for {
+		r, size := l.peekRune()
+		if size == 0 || r == '\n' {
+			return
+		}
+		l.advance(r, size)
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	r, size := l.peekRune()
+	if size == 0 {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	mk := func(k TokKind, text string) Token {
+		return Token{Kind: k, Text: text, Line: line, Col: col}
+	}
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.pos
+		for {
+			r, size := l.peekRune()
+			if size == 0 || !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_') {
+				break
+			}
+			l.advance(r, size)
+		}
+		return mk(TokIdent, l.src[start:l.pos]), nil
+	case unicode.IsDigit(r) || (r == '.' && l.nextIsDigit()):
+		start := l.pos
+		seenDot, seenExp := false, false
+		for {
+			r, size := l.peekRune()
+			if size == 0 {
+				break
+			}
+			if unicode.IsDigit(r) {
+				l.advance(r, size)
+				continue
+			}
+			if r == '.' && !seenDot && !seenExp {
+				// Disambiguate "1.5" from "C.t" style qualified refs on
+				// numbers: a dot is part of the number only when followed
+				// by a digit.
+				if l.pos+1 < len(l.src) && isDigitByte(l.src[l.pos+1]) {
+					seenDot = true
+					l.advance(r, size)
+					continue
+				}
+				break
+			}
+			if (r == 'e' || r == 'E') && !seenExp {
+				rest := l.src[l.pos+1:]
+				if len(rest) > 0 && (isDigitByte(rest[0]) || ((rest[0] == '+' || rest[0] == '-') && len(rest) > 1 && isDigitByte(rest[1]))) {
+					seenExp = true
+					l.advance(r, size)
+					sr, ssize := l.peekRune()
+					if sr == '+' || sr == '-' {
+						l.advance(sr, ssize)
+					}
+					continue
+				}
+			}
+			break
+		}
+		return mk(TokNumber, l.src[start:l.pos]), nil
+	case r == '\'':
+		l.advance(r, size)
+		var b strings.Builder
+		for {
+			r, size := l.peekRune()
+			if size == 0 {
+				return Token{}, l.errorf("unterminated string literal")
+			}
+			l.advance(r, size)
+			if r == '\'' {
+				// '' escapes a single quote
+				if nr, nsize := l.peekRune(); nr == '\'' {
+					l.advance(nr, nsize)
+					b.WriteByte('\'')
+					continue
+				}
+				return mk(TokString, b.String()), nil
+			}
+			b.WriteRune(r)
+		}
+	}
+	l.advance(r, size)
+	switch r {
+	case '(':
+		return mk(TokLParen, "("), nil
+	case ')':
+		return mk(TokRParen, ")"), nil
+	case '{':
+		return mk(TokLBrace, "{"), nil
+	case '}':
+		return mk(TokRBrace, "}"), nil
+	case ',':
+		return mk(TokComma, ","), nil
+	case ';':
+		return mk(TokSemi, ";"), nil
+	case '.':
+		return mk(TokDot, "."), nil
+	case '@':
+		return mk(TokAt, "@"), nil
+	case '*':
+		return mk(TokStar, "*"), nil
+	case '+':
+		return mk(TokPlus, "+"), nil
+	case '-':
+		return mk(TokMinus, "-"), nil
+	case '/':
+		return mk(TokSlash, "/"), nil
+	case '%':
+		return mk(TokPercent, "%"), nil
+	case '=':
+		if nr, nsize := l.peekRune(); nr == '=' {
+			l.advance(nr, nsize)
+		}
+		return mk(TokEq, "="), nil
+	case '!':
+		if nr, nsize := l.peekRune(); nr == '=' {
+			l.advance(nr, nsize)
+			return mk(TokNe, "!="), nil
+		}
+		return Token{}, l.errorf("unexpected character %q", r)
+	case '<':
+		if nr, nsize := l.peekRune(); nr == '=' {
+			l.advance(nr, nsize)
+			return mk(TokLe, "<="), nil
+		} else if nr == '>' {
+			l.advance(nr, nsize)
+			return mk(TokNe, "<>"), nil
+		}
+		return mk(TokLt, "<"), nil
+	case '>':
+		if nr, nsize := l.peekRune(); nr == '=' {
+			l.advance(nr, nsize)
+			return mk(TokGe, ">="), nil
+		}
+		return mk(TokGt, ">"), nil
+	case '|':
+		if nr, nsize := l.peekRune(); nr == '|' {
+			l.advance(nr, nsize)
+			return mk(TokConcat, "||"), nil
+		}
+		return Token{}, l.errorf("unexpected character %q (did you mean ||?)", r)
+	default:
+		return Token{}, l.errorf("unexpected character %q", r)
+	}
+}
+
+func (l *lexer) nextIsDigit() bool {
+	return l.pos+1 < len(l.src) && isDigitByte(l.src[l.pos+1])
+}
+
+func isDigitByte(b byte) bool { return b >= '0' && b <= '9' }
+
+// lexAll scans the entire source, returning the token stream (terminated by
+// TokEOF).
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

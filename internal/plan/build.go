@@ -1,0 +1,233 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+// Build converts a parsed query into a logical plan. The catalog is consulted
+// for input schemas and row-count estimates; row contents are read later, at
+// execution time, so a plan stays valid as data changes.
+func Build(q parser.QueryExpr, cat Catalog) (Node, error) {
+	switch n := q.(type) {
+	case *parser.SelectStmt:
+		return buildSelect(n, cat)
+	case *parser.SetOp:
+		l, err := Build(n.L, cat)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Build(n.R, cat)
+		if err != nil {
+			return nil, err
+		}
+		if !l.Schema().UnionCompatible(r.Schema()) {
+			return nil, fmt.Errorf("%s operands are not union compatible: %s vs %s",
+				n.Op, l.Schema(), r.Schema())
+		}
+		var kind SetKind
+		switch n.Op {
+		case parser.SetUnion:
+			kind = SetUnion
+		case parser.SetMinus:
+			kind = SetMinus
+		default:
+			kind = SetIntersect
+		}
+		return &SetOp{Kind: kind, All: n.All, L: l, R: r}, nil
+	case *parser.RelRefQuery:
+		return buildScan(n.Ref, cat)
+	case *parser.RenderStmt:
+		// render() is handled by the engine; plan the inner query.
+		return Build(n.Inner, cat)
+	default:
+		return nil, fmt.Errorf("cannot plan query of type %T", q)
+	}
+}
+
+func buildScan(ref parser.TableRef, cat Catalog) (Node, error) {
+	if ref.Sub != nil {
+		sub, err := Build(ref.Sub, cat)
+		if err != nil {
+			return nil, err
+		}
+		return aliasNode(sub, ref.Alias), nil
+	}
+	rel, err := cat.Resolve(ref.Name, ref.Version)
+	if err != nil {
+		return nil, err
+	}
+	return &Scan{
+		Name:    ref.Name,
+		Alias:   ref.BindName(),
+		Version: ref.Version,
+		Sch:     rel.Schema.Qualify(ref.BindName()),
+		EstRows: rel.Len(),
+	}, nil
+}
+
+// aliasNode re-qualifies a subquery's output columns under the FROM alias.
+func aliasNode(child Node, alias string) Node {
+	items := make([]ProjItem, child.Schema().Len())
+	for i, c := range child.Schema().Cols {
+		items[i] = ProjItem{
+			Expr: &expr.Column{Qualifier: c.Qualifier, Name: c.Name},
+			Name: c.Name,
+		}
+	}
+	return &aliasProject{Project: Project{Child: child, Items: items}, alias: alias}
+}
+
+// aliasProject is a Project whose output schema is qualified by the subquery
+// alias rather than unqualified.
+type aliasProject struct {
+	Project
+	alias string
+}
+
+// Schema qualifies the projected columns under the alias.
+func (a *aliasProject) Schema() relation.Schema {
+	return a.Project.Schema().Qualify(a.alias)
+}
+
+// AsProject exposes the embedded projection to the executor, which runs it
+// with this node's qualified output schema.
+func (a *aliasProject) AsProject() *Project { return &a.Project }
+
+func buildSelect(sel *parser.SelectStmt, cat Catalog) (Node, error) {
+	// FROM: left-deep cross joins; the optimizer turns filters into join
+	// predicates and reorders inputs.
+	var root Node
+	for _, ref := range sel.From {
+		n, err := buildScan(ref, cat)
+		if err != nil {
+			return nil, err
+		}
+		if root == nil {
+			root = n
+		} else {
+			root = &Join{L: root, R: n}
+		}
+	}
+	if root == nil {
+		root = &Scan{Name: "", Alias: "", Sch: relation.Schema{}, EstRows: 1} // constant SELECT
+	}
+	if sel.Where != nil {
+		if expr.HasAggregate(sel.Where) {
+			return nil, fmt.Errorf("aggregates are not allowed in WHERE")
+		}
+		root = &Filter{Child: root, Pred: sel.Where}
+	}
+
+	items, err := expandItems(sel.Items, root.Schema())
+	if err != nil {
+		return nil, err
+	}
+
+	hasAgg := len(sel.GroupBy) > 0 || sel.Having != nil
+	for _, it := range items {
+		if expr.HasAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		if err := checkGrouping(items, sel.GroupBy); err != nil {
+			return nil, err
+		}
+		root = &Aggregate{Child: root, GroupBy: sel.GroupBy, Items: items, Having: sel.Having}
+	} else {
+		root = &Project{Child: root, Items: items}
+	}
+	if sel.Distinct {
+		root = &Distinct{Child: root}
+	}
+	if len(sel.OrderBy) > 0 {
+		keys := make([]SortKey, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			keys[i] = SortKey{Expr: resolveOrderRef(o.Expr, items), Desc: o.Desc}
+		}
+		root = &Sort{Child: root, Keys: keys}
+	}
+	if sel.Limit >= 0 {
+		root = &Limit{Child: root, N: sel.Limit}
+	}
+	return root, nil
+}
+
+// expandItems resolves * and qualified stars against the input schema and
+// names every output column.
+func expandItems(items []parser.SelectItem, in relation.Schema) ([]ProjItem, error) {
+	var out []ProjItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, ProjItem{Expr: it.Expr, Name: it.OutName()})
+			continue
+		}
+		matched := false
+		for _, c := range in.Cols {
+			if it.StarQualifier != "" && !strings.EqualFold(c.Qualifier, it.StarQualifier) {
+				continue
+			}
+			matched = true
+			out = append(out, ProjItem{
+				Expr: &expr.Column{Qualifier: c.Qualifier, Name: c.Name},
+				Name: c.Name,
+			})
+		}
+		if !matched {
+			return nil, fmt.Errorf("star qualifier %q matches no input", it.StarQualifier)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty projection")
+	}
+	return out, nil
+}
+
+// checkGrouping enforces that non-aggregate output expressions appear in the
+// GROUP BY list (matching by rendered form), unless there is no GROUP BY at
+// all (a global aggregate, where bare columns take SQLite's
+// first-row-of-group semantics).
+func checkGrouping(items []ProjItem, groupBy []expr.Expr) error {
+	if len(groupBy) == 0 {
+		return nil
+	}
+	keys := make(map[string]bool, len(groupBy))
+	for _, g := range groupBy {
+		keys[g.String()] = true
+	}
+	for _, it := range items {
+		if expr.HasAggregate(it.Expr) {
+			continue
+		}
+		if keys[it.Expr.String()] {
+			continue
+		}
+		// A bare column that names a group key by alias is also fine.
+		if keys[it.Name] {
+			continue
+		}
+		return fmt.Errorf("output %q is neither aggregated nor in GROUP BY", it.Expr.String())
+	}
+	return nil
+}
+
+// resolveOrderRef lets ORDER BY reference projected aliases ("ORDER BY
+// total") by rewriting the bare column to the projected expression's output
+// column.
+func resolveOrderRef(e expr.Expr, items []ProjItem) expr.Expr {
+	c, ok := e.(*expr.Column)
+	if !ok || c.Qualifier != "" {
+		return e
+	}
+	for _, it := range items {
+		if strings.EqualFold(it.Name, c.Name) {
+			return &expr.Column{Name: it.Name}
+		}
+	}
+	return e
+}

@@ -1,0 +1,301 @@
+package precision
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func tree(t *testing.T, sql string) *Node {
+	t.Helper()
+	n, err := ParseQueryTree(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return n
+}
+
+func TestQueryTreeStructure(t *testing.T) {
+	n := tree(t, "SELECT a, b FROM t WHERE a > 5 ORDER BY a LIMIT 3")
+	if n.Type != "Select" {
+		t.Fatalf("root = %s", n.Type)
+	}
+	types := map[string]bool{}
+	for _, c := range n.Children {
+		types[c.Type] = true
+	}
+	for _, want := range []string{"Project", "From", "Where", "OrderBy", "Limit"} {
+		if !types[want] {
+			t.Errorf("missing %s child: %s", want, n)
+		}
+	}
+	if !strings.Contains(n.String(), "ProjectClauses") {
+		t.Errorf("ProjectClauses missing: %s", n)
+	}
+}
+
+func TestDiffLocalization(t *testing.T) {
+	a := tree(t, "SELECT a FROM t WHERE x > 5")
+	b := tree(t, "SELECT a FROM t WHERE x > 7")
+	diffs := DiffTrees(a, b)
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %d: %+v", len(diffs), diffs)
+	}
+	if !strings.Contains(diffs[0].Path, "Where") || !strings.HasSuffix(diffs[0].Path, "Number") {
+		t.Fatalf("diff path = %s", diffs[0].Path)
+	}
+	if diffs[0].Old.Label != "5" || diffs[0].New.Label != "7" {
+		t.Fatalf("diff = %+v", diffs[0])
+	}
+	// identical queries: no diffs
+	if len(DiffTrees(a, a)) != 0 {
+		t.Fatal("identical trees should have no diffs")
+	}
+}
+
+func TestDiffStructuralChange(t *testing.T) {
+	a := tree(t, "SELECT a FROM t")
+	b := tree(t, "SELECT a, b FROM t")
+	diffs := DiffTrees(a, b)
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %d", len(diffs))
+	}
+	if !strings.HasSuffix(diffs[0].Path, "ProjectClauses") {
+		t.Fatalf("diff path = %s", diffs[0].Path)
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	bad := []string{
+		"FROM x AS a MATCH Foo",                       // no WHERE
+		"WHERE NUMERIC_DIFF(a) MATCH Foo",             // no FROM
+		"FROM p AS a WHERE BOGUS(a) MATCH Foo",        // unknown predicate
+		"FROM p AS a WHERE NUMERIC_DIFF(b) MATCH Foo", // wrong variable
+		"FROM p AS a WHERE a@old SUBSET a@new",        // no MATCH
+	}
+	for _, src := range bad {
+		if _, err := ParseRules(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+	rules, err := ParseRules("FROM Select//Where AS a WHERE a@old != a@new MATCH X;")
+	if err != nil || len(rules) != 1 {
+		t.Fatalf("good rule failed: %v", err)
+	}
+	if rules[0].Interaction != "X" || rules[0].Var != "a" {
+		t.Fatalf("rule = %+v", rules[0])
+	}
+}
+
+// The paper's example rule, almost verbatim: project-clause growth matches
+// an interaction.
+func TestPaperSubsetRule(t *testing.T) {
+	rules, err := ParseRules("FROM Select//ProjectClauses AS a WHERE a@old SUBSET a@new MATCH AddColumn;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow := rules[0].MatchPair(
+		tree(t, "SELECT a FROM t WHERE x > 1"),
+		tree(t, "SELECT a, b FROM t WHERE x > 1"))
+	if !grow {
+		t.Fatal("projection growth should match SUBSET rule")
+	}
+	shrink := rules[0].MatchPair(
+		tree(t, "SELECT a, b FROM t"),
+		tree(t, "SELECT a FROM t"))
+	if shrink {
+		t.Fatal("projection shrink should not match old-subset-new")
+	}
+	unrelated := rules[0].MatchPair(
+		tree(t, "SELECT a FROM t WHERE x > 1"),
+		tree(t, "SELECT a FROM t WHERE x > 2"))
+	if unrelated {
+		t.Fatal("numeric tweak should not match projection rule")
+	}
+}
+
+func TestNumericDiffRule(t *testing.T) {
+	rules, err := ParseRules("FROM Select/Where//Number AS a WHERE NUMERIC_DIFF(a) MATCH Slider;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// one bound changed
+	if !rules[0].MatchPair(
+		tree(t, "SELECT a FROM t WHERE x > 5 AND x < 10"),
+		tree(t, "SELECT a FROM t WHERE x > 6 AND x < 10")) {
+		t.Fatal("single numeric tweak should match")
+	}
+	// both bounds changed: two diffs, each covered by a binding
+	if !rules[0].MatchPair(
+		tree(t, "SELECT a FROM t WHERE x > 5 AND x < 10"),
+		tree(t, "SELECT a FROM t WHERE x > 6 AND x < 11")) {
+		t.Fatal("double numeric tweak should match")
+	}
+	// numeric tweak AND projection change: rule does not explain all diffs
+	if rules[0].MatchPair(
+		tree(t, "SELECT a FROM t WHERE x > 5"),
+		tree(t, "SELECT a, b FROM t WHERE x > 6")) {
+		t.Fatal("mixed tweak should not match a single-aspect rule")
+	}
+	// identical queries are not transformations
+	if rules[0].MatchPair(
+		tree(t, "SELECT a FROM t WHERE x > 5"),
+		tree(t, "SELECT a FROM t WHERE x > 5")) {
+		t.Fatal("identical queries should not match")
+	}
+}
+
+func TestValueChangedAndLimitRules(t *testing.T) {
+	rules := SDSSRules()
+	match := func(a, b string) string {
+		ta, tb := tree(t, a), tree(t, b)
+		for _, r := range rules {
+			if r.MatchPair(ta, tb) {
+				return r.Interaction
+			}
+		}
+		return ""
+	}
+	if got := match(
+		"SELECT a FROM t WHERE specClass = 'STAR'",
+		"SELECT a FROM t WHERE specClass = 'QSO'"); got != "ValueDropdown" {
+		t.Fatalf("string flip matched %q", got)
+	}
+	if got := match(
+		"SELECT count(*) AS n FROM t WHERE r < 19.5",
+		"SELECT count(*) AS n FROM t WHERE g < 19.5"); got != "ColumnPicker" {
+		t.Fatalf("column flip matched %q", got)
+	}
+	if got := match(
+		"SELECT a FROM t LIMIT 10",
+		"SELECT a FROM t LIMIT 20"); got != "LimitStepper" {
+		t.Fatalf("limit change matched %q", got)
+	}
+	if got := match(
+		"SELECT a FROM t WHERE x > 5",
+		"SELECT a FROM t WHERE x > 6"); got != "RangeSlider" {
+		t.Fatalf("numeric tweak matched %q", got)
+	}
+	if got := match(
+		"SELECT a FROM t WHERE x > 5",
+		"SELECT a FROM t WHERE x > 5 AND y < 2"); got != "FilterEditor" {
+		t.Fatalf("filter restructure matched %q", got)
+	}
+}
+
+func sessionsOf(log []workload.LogEntry) [][]string {
+	var sessions [][]string
+	cur := -1
+	for _, e := range log {
+		if e.Session != cur {
+			sessions = append(sessions, nil)
+			cur = e.Session
+		}
+		sessions[len(sessions)-1] = append(sessions[len(sessions)-1], e.SQL)
+	}
+	return sessions
+}
+
+// TestFigure6Statistics reproduces the paper's SDSS analysis: the graph is
+// dense and the two most frequent interactions cover ≈70 % and ≈12 % of the
+// sample.
+func TestFigure6Statistics(t *testing.T) {
+	log := workload.SDSSLog(20000, 17)
+	g, err := BuildGraphFromSessions(sessionsOf(log), SDSSRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Coverage() < 0.95 {
+		t.Fatalf("rule coverage = %.3f, want high", g.Coverage())
+	}
+	shares := g.InteractionShares()
+	if len(shares) < 4 {
+		t.Fatalf("interaction types = %d", len(shares))
+	}
+	if shares[0].Name != "RangeSlider" || shares[0].Share < 0.60 || shares[0].Share > 0.80 {
+		t.Fatalf("top interaction = %+v, want RangeSlider ≈ 0.70", shares[0])
+	}
+	if shares[1].Name != "ProjectionPicker" || shares[1].Share < 0.08 || shares[1].Share > 0.17 {
+		t.Fatalf("second interaction = %+v, want ProjectionPicker ≈ 0.12", shares[1])
+	}
+	if g.Density() < 0.5 {
+		t.Fatalf("graph density = %.2f, want dense", g.Density())
+	}
+	out := g.Format()
+	if !strings.Contains(out, "RangeSlider") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+// TestFigure7Interfaces reproduces the simplicity-vs-coverage trade-off:
+// a small budget yields few widgets covering the dominant interactions; a
+// large budget covers (nearly) everything.
+func TestFigure7Interfaces(t *testing.T) {
+	log := workload.SDSSLog(8000, 23)
+	g, err := BuildGraphFromSessions(sessionsOf(log), SDSSRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple := Synthesize(g, SynthesisParams{MaxVis: 6, Penalty: 10})
+	coverage := Synthesize(g, SynthesisParams{MaxVis: 20, Penalty: 10})
+	if len(simple.Widgets) == 0 {
+		t.Fatal("simplicity interface should have at least one widget")
+	}
+	if len(coverage.Widgets) <= len(simple.Widgets) {
+		t.Fatalf("coverage interface (%d widgets) should exceed simplicity (%d)",
+			len(coverage.Widgets), len(simple.Widgets))
+	}
+	if coverage.Covered <= simple.Covered {
+		t.Fatalf("coverage %.2f should exceed %.2f", coverage.Covered, simple.Covered)
+	}
+	if coverage.AvgCost >= simple.AvgCost+0.001 && coverage.Covered > simple.Covered {
+		// more budget should never hurt the objective
+		t.Fatalf("coverage objective %.3f worse than simple %.3f", coverage.AvgCost, simple.AvgCost)
+	}
+	// the simplicity preset must include the dominant interaction's widget
+	names := map[string]bool{}
+	for _, w := range simple.Widgets {
+		names[w.Name] = true
+	}
+	if !names["range-slider"] && !names["sql-textbox"] && !names["filter-editor"] {
+		t.Fatalf("simplicity widgets = %v, expected the dominant interaction covered", simple.Widgets)
+	}
+	// budget respected
+	if simple.TotalVis >= 6 || coverage.TotalVis >= 20 {
+		t.Fatalf("budgets violated: %v / %v", simple.TotalVis, coverage.TotalVis)
+	}
+	mock := simple.Mockup("SkyServer — simple")
+	if !strings.Contains(mock, "+-") || !strings.Contains(mock, "coverage") {
+		t.Fatalf("mockup:\n%s", mock)
+	}
+}
+
+func TestSynthesizeRespectsBudgetProperty(t *testing.T) {
+	log := workload.SDSSLog(3000, 29)
+	g, err := BuildGraphFromSessions(sessionsOf(log), SDSSRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxVis := range []float64{1, 3, 5, 8, 12, 30} {
+		ifc := Synthesize(g, SynthesisParams{MaxVis: maxVis})
+		if ifc.TotalVis >= maxVis {
+			t.Fatalf("maxVis %v violated: total %v", maxVis, ifc.TotalVis)
+		}
+	}
+}
+
+func TestNodeEqualAndString(t *testing.T) {
+	a := tree(t, "SELECT a FROM t")
+	b := tree(t, "SELECT a FROM t")
+	c := tree(t, "SELECT b FROM t")
+	if !a.Equal(b) {
+		t.Fatal("identical queries should have equal trees")
+	}
+	if a.Equal(c) {
+		t.Fatal("different queries should differ")
+	}
+	if a.String() == "" {
+		t.Fatal("string rendering empty")
+	}
+}

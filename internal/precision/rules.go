@@ -1,0 +1,376 @@
+package precision
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rule is one transformation-matching statement of the paper's SQL-like
+// rule language:
+//
+//	FROM Select//Where AS a
+//	WHERE NUMERIC_DIFF(a)
+//	MATCH RangeSlider;
+//
+// The FROM clause is an XPath-like node path binding a variable to
+// corresponding nodes of the old and new ASTs; WHERE tests the pair
+// (a@old vs a@new); MATCH names the interaction the tweak maps to.
+type Rule struct {
+	Path        Path
+	Var         string
+	Cond        RuleCond
+	Interaction string
+}
+
+// Path is a parsed node path: steps separated by '/' (child) or '//'
+// (descendant).
+type Path struct {
+	Steps []PathStep
+}
+
+// PathStep is one path component.
+type PathStep struct {
+	Type       string
+	Descendant bool // reached via // (any depth) instead of / (direct child)
+}
+
+// RuleCond is a predicate over the (old, new) binding of a rule variable.
+type RuleCond interface {
+	// Holds evaluates the condition for one binding; old or new may be nil
+	// when the subtree was added or removed.
+	Holds(old, new *Node) bool
+	String() string
+}
+
+// ParseRules parses a rule program: one or more FROM/WHERE/MATCH statements
+// separated by semicolons.
+func ParseRules(src string) ([]Rule, error) {
+	var out []Rule
+	for _, stmt := range strings.Split(src, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		r, err := parseRule(stmt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rules in program")
+	}
+	return out, nil
+}
+
+func parseRule(stmt string) (Rule, error) {
+	fields := strings.Fields(stmt)
+	// FROM <path> AS <var> WHERE <cond...> MATCH <name>
+	if len(fields) < 7 || !strings.EqualFold(fields[0], "FROM") {
+		return Rule{}, fmt.Errorf("rule must be FROM <path> AS <var> WHERE <cond> MATCH <name>: %q", stmt)
+	}
+	if !strings.EqualFold(fields[2], "AS") {
+		return Rule{}, fmt.Errorf("expected AS after path in %q", stmt)
+	}
+	path, err := parsePath(fields[1])
+	if err != nil {
+		return Rule{}, err
+	}
+	varName := fields[3]
+	if !strings.EqualFold(fields[4], "WHERE") {
+		return Rule{}, fmt.Errorf("expected WHERE in %q", stmt)
+	}
+	matchIdx := -1
+	for i := 5; i < len(fields); i++ {
+		if strings.EqualFold(fields[i], "MATCH") {
+			matchIdx = i
+			break
+		}
+	}
+	if matchIdx < 0 || matchIdx == len(fields)-1 {
+		return Rule{}, fmt.Errorf("expected MATCH <name> in %q", stmt)
+	}
+	cond, err := parseCond(strings.Join(fields[5:matchIdx], " "), varName)
+	if err != nil {
+		return Rule{}, err
+	}
+	return Rule{Path: path, Var: varName, Cond: cond, Interaction: fields[matchIdx+1]}, nil
+}
+
+func parsePath(s string) (Path, error) {
+	var p Path
+	rest := s
+	descendant := false
+	for rest != "" {
+		switch {
+		case strings.HasPrefix(rest, "//"):
+			descendant = true
+			rest = rest[2:]
+		case strings.HasPrefix(rest, "/"):
+			descendant = false
+			rest = rest[1:]
+		}
+		end := strings.IndexAny(rest, "/")
+		var step string
+		if end < 0 {
+			step, rest = rest, ""
+		} else {
+			step, rest = rest[:end], rest[end:]
+		}
+		if step == "" {
+			return Path{}, fmt.Errorf("empty path step in %q", s)
+		}
+		p.Steps = append(p.Steps, PathStep{Type: step, Descendant: descendant})
+		descendant = false
+	}
+	if len(p.Steps) == 0 {
+		return Path{}, fmt.Errorf("empty path %q", s)
+	}
+	return p, nil
+}
+
+// parseCond understands the paper's SUBSET form plus the predicates needed
+// for the SDSS rule set:
+//
+//	a@old SUBSET a@new    — old's children are a subset of new's
+//	a@old = a@new         — subtrees equal (useful with NOT)
+//	a@old != a@new        — subtrees differ
+//	NUMERIC_DIFF(a)       — both are numeric leaves with different values
+//	VALUE_CHANGED(a)      — same node type, different label
+//	ADDED(a) / REMOVED(a) — subtree exists on only one side
+func parseCond(s, varName string) (RuleCond, error) {
+	s = strings.TrimSpace(s)
+	upper := strings.ToUpper(s)
+	oldRef := varName + "@old"
+	newRef := varName + "@new"
+	switch {
+	case strings.HasPrefix(upper, "NUMERIC_DIFF("):
+		return numericDiff{}, checkVarArg(s, varName)
+	case strings.HasPrefix(upper, "VALUE_CHANGED("):
+		return valueChanged{}, checkVarArg(s, varName)
+	case strings.HasPrefix(upper, "ADDED("):
+		return added{}, checkVarArg(s, varName)
+	case strings.HasPrefix(upper, "REMOVED("):
+		return removed{}, checkVarArg(s, varName)
+	}
+	fields := strings.Fields(s)
+	if len(fields) == 3 {
+		forward := fields[0] == oldRef && fields[2] == newRef
+		reverse := fields[0] == newRef && fields[2] == oldRef
+		if forward || reverse {
+			switch strings.ToUpper(fields[1]) {
+			case "SUBSET":
+				if reverse {
+					return flip{subset{}}, nil
+				}
+				return subset{}, nil
+			case "=", "==":
+				return equalCond{}, nil
+			case "!=", "<>":
+				return notEqual{}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unsupported rule condition %q", s)
+}
+
+func checkVarArg(s, varName string) error {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return fmt.Errorf("malformed predicate %q", s)
+	}
+	arg := strings.TrimSpace(s[open+1 : close])
+	if arg != varName {
+		return fmt.Errorf("predicate argument %q does not match rule variable %q", arg, varName)
+	}
+	return nil
+}
+
+// flip swaps the old/new arguments of a condition, implementing the
+// reversed form "a@new SUBSET a@old".
+type flip struct {
+	inner RuleCond
+}
+
+func (f flip) Holds(old, new *Node) bool { return f.inner.Holds(new, old) }
+func (f flip) String() string            { return "flipped " + f.inner.String() }
+
+type subset struct{}
+
+// Holds: every child of old appears (by rendered form) among new's children.
+func (subset) Holds(old, new *Node) bool {
+	if old == nil || new == nil {
+		return false
+	}
+	have := map[string]int{}
+	for _, c := range new.Children {
+		have[c.String()]++
+	}
+	for _, c := range old.Children {
+		if have[c.String()] == 0 {
+			return false
+		}
+		have[c.String()]--
+	}
+	return true
+}
+func (subset) String() string { return "SUBSET" }
+
+type equalCond struct{}
+
+func (equalCond) Holds(old, new *Node) bool { return old.Equal(new) }
+func (equalCond) String() string            { return "=" }
+
+type notEqual struct{}
+
+func (notEqual) Holds(old, new *Node) bool { return !old.Equal(new) }
+func (notEqual) String() string            { return "!=" }
+
+type numericDiff struct{}
+
+func (numericDiff) Holds(old, new *Node) bool {
+	if old == nil || new == nil {
+		return false
+	}
+	a, aok := old.NumericLabel()
+	b, bok := new.NumericLabel()
+	return aok && bok && a != b
+}
+func (numericDiff) String() string { return "NUMERIC_DIFF" }
+
+type valueChanged struct{}
+
+func (valueChanged) Holds(old, new *Node) bool {
+	return old != nil && new != nil && old.Type == new.Type && old.Label != new.Label
+}
+func (valueChanged) String() string { return "VALUE_CHANGED" }
+
+type added struct{}
+
+func (added) Holds(old, new *Node) bool { return old == nil && new != nil }
+func (added) String() string            { return "ADDED" }
+
+type removed struct{}
+
+func (removed) Holds(old, new *Node) bool { return old != nil && new == nil }
+func (removed) String() string            { return "REMOVED" }
+
+// Match finds path bindings in the old/new trees (positionally paired) and
+// reports whether the rule's condition holds for any binding that covers
+// the given diff.
+//
+// MatchPair evaluates a rule against a query pair: the rule matches when
+// every subtree difference between the two trees lies under a path binding
+// whose condition holds — i.e. the whole tweak is explained by the rule.
+func (r Rule) MatchPair(old, new *Node) bool {
+	diffs := DiffTrees(old, new)
+	if len(diffs) == 0 {
+		return false // identical queries are not a transformation
+	}
+	bindings := r.Path.bindPairs(old, new)
+	if len(bindings) == 0 {
+		return false
+	}
+	for _, d := range diffs {
+		covered := false
+		for _, b := range bindings {
+			if !b.covers(d.Path) {
+				continue
+			}
+			if r.Cond.Holds(b.old, b.new) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// binding is one positional pairing of path-matched nodes with the node
+// path prefix they cover.
+type binding struct {
+	old, new *Node
+	path     string
+}
+
+func (b binding) covers(diffPath string) bool {
+	return diffPath == b.path || strings.HasPrefix(diffPath, b.path+"/")
+}
+
+// bindPairs walks both trees in lockstep collecting nodes matching the path
+// at identical positions. Position mismatches (different child counts)
+// produce bindings with a nil side so ADDED/REMOVED conditions can hold.
+func (p Path) bindPairs(old, new *Node) []binding {
+	var out []binding
+	var walk func(a, b *Node, path string, step int, descend bool)
+	walk = func(a, b *Node, path string, step int, descend bool) {
+		if step >= len(p.Steps) {
+			return
+		}
+		st := p.Steps[step]
+		typeOf := func(n *Node) string {
+			if n == nil {
+				return ""
+			}
+			return n.Type
+		}
+		t := typeOf(a)
+		if t == "" {
+			t = typeOf(b)
+		}
+		if t == st.Type {
+			if step == len(p.Steps)-1 {
+				out = append(out, binding{old: a, new: b, path: path})
+			} else {
+				walkChildren(a, b, path, func(ca, cb *Node, cpath string) {
+					walk(ca, cb, cpath, step+1, p.Steps[step+1].Descendant)
+				})
+			}
+		}
+		if descend || (step == 0 && st.Descendant) || step == 0 {
+			// keep searching deeper for the first step (rooted anywhere)
+			// and for descendant steps
+			walkChildren(a, b, path, func(ca, cb *Node, cpath string) {
+				walk(ca, cb, cpath, step, descend)
+			})
+		}
+	}
+	walk(old, new, old.Type, 0, true)
+	return out
+}
+
+// walkChildren pairs children positionally, padding the shorter side with
+// nils.
+func walkChildren(a, b *Node, path string, fn func(ca, cb *Node, cpath string)) {
+	var ac, bc []*Node
+	if a != nil {
+		ac = a.Children
+	}
+	if b != nil {
+		bc = b.Children
+	}
+	n := len(ac)
+	if len(bc) > n {
+		n = len(bc)
+	}
+	for i := 0; i < n; i++ {
+		var ca, cb *Node
+		if i < len(ac) {
+			ca = ac[i]
+		}
+		if i < len(bc) {
+			cb = bc[i]
+		}
+		t := ""
+		if ca != nil {
+			t = ca.Type
+		} else if cb != nil {
+			t = cb.Type
+		}
+		fn(ca, cb, path+"/"+t)
+	}
+}

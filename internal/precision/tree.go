@@ -1,0 +1,255 @@
+// Package precision implements Precision Interfaces (§3.4): mining a query
+// log for structured, incremental "tweaks" via AST subtree diffs, matching
+// tweaks against a rule language, building the transformation graph of
+// Figure 6, and synthesizing interfaces by solving the widget-assignment
+// knapsack of the paper (Figure 7).
+package precision
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/parser"
+)
+
+// Node is a language-agnostic AST node: the paper's key observation is that
+// all programs parse into ASTs, so tweak detection over generic trees
+// generalizes across languages. Type is the node class (Select, Project,
+// Where, Cmp, Number, ...); Label carries leaf values.
+type Node struct {
+	Type     string
+	Label    string
+	Children []*Node
+}
+
+// NewNode builds a node.
+func NewNode(typ, label string, children ...*Node) *Node {
+	return &Node{Type: typ, Label: label, Children: children}
+}
+
+// String renders the subtree compactly (s-expression style).
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	b.WriteByte('(')
+	b.WriteString(n.Type)
+	if n.Label != "" {
+		b.WriteByte(':')
+		b.WriteString(n.Label)
+	}
+	for _, c := range n.Children {
+		b.WriteByte(' ')
+		c.render(b)
+	}
+	b.WriteByte(')')
+}
+
+// Equal reports deep tree equality.
+func (n *Node) Equal(o *Node) bool {
+	if n == nil || o == nil {
+		return n == o
+	}
+	if n.Type != o.Type || n.Label != o.Label || len(n.Children) != len(o.Children) {
+		return false
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NumericLabel parses the node's label as a number.
+func (n *Node) NumericLabel() (float64, bool) {
+	f, err := strconv.ParseFloat(n.Label, 64)
+	return f, err == nil
+}
+
+// ParseQueryTree parses a SQL string with the DeVIL parser and converts it
+// to a generic tree. This plays the role of "the specific parser" in the
+// paper — rules are written against this parser's node types.
+func ParseQueryTree(sql string) (*Node, error) {
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	return QueryTree(q), nil
+}
+
+// QueryTree converts a parsed query to a generic tree.
+func QueryTree(q parser.QueryExpr) *Node {
+	switch n := q.(type) {
+	case *parser.SelectStmt:
+		return selectTree(n)
+	case *parser.SetOp:
+		return NewNode("SetOp", n.Op.String(), QueryTree(n.L), QueryTree(n.R))
+	case *parser.RelRefQuery:
+		return NewNode("Table", n.Ref.Name)
+	default:
+		return NewNode("Query", fmt.Sprintf("%T", q))
+	}
+}
+
+func selectTree(sel *parser.SelectStmt) *Node {
+	root := NewNode("Select", "")
+	proj := NewNode("Project", "")
+	clauses := NewNode("ProjectClauses", "")
+	for _, it := range sel.Items {
+		if it.Star {
+			name := "*"
+			if it.StarQualifier != "" {
+				name = it.StarQualifier + ".*"
+			}
+			clauses.Children = append(clauses.Children, NewNode("Star", name))
+			continue
+		}
+		item := NewNode("Item", it.OutName(), exprTree(it.Expr))
+		clauses.Children = append(clauses.Children, item)
+	}
+	proj.Children = append(proj.Children, clauses)
+	root.Children = append(root.Children, proj)
+
+	if len(sel.From) > 0 {
+		from := NewNode("From", "")
+		for _, f := range sel.From {
+			if f.Sub != nil {
+				from.Children = append(from.Children, NewNode("SubqueryRef", f.Alias, QueryTree(f.Sub)))
+			} else {
+				from.Children = append(from.Children, NewNode("Table", f.Name+f.Version.String()))
+			}
+		}
+		root.Children = append(root.Children, from)
+	}
+	if sel.Where != nil {
+		root.Children = append(root.Children, NewNode("Where", "", exprTree(sel.Where)))
+	}
+	if len(sel.GroupBy) > 0 {
+		g := NewNode("GroupBy", "")
+		for _, e := range sel.GroupBy {
+			g.Children = append(g.Children, exprTree(e))
+		}
+		root.Children = append(root.Children, g)
+	}
+	if sel.Having != nil {
+		root.Children = append(root.Children, NewNode("Having", "", exprTree(sel.Having)))
+	}
+	if len(sel.OrderBy) > 0 {
+		o := NewNode("OrderBy", "")
+		for _, item := range sel.OrderBy {
+			dir := "asc"
+			if item.Desc {
+				dir = "desc"
+			}
+			o.Children = append(o.Children, NewNode("OrderKey", dir, exprTree(item.Expr)))
+		}
+		root.Children = append(root.Children, o)
+	}
+	if sel.Limit >= 0 {
+		root.Children = append(root.Children, NewNode("Limit", strconv.Itoa(sel.Limit)))
+	}
+	if sel.Distinct {
+		root.Children = append(root.Children, NewNode("Distinct", ""))
+	}
+	return root
+}
+
+func exprTree(e expr.Expr) *Node {
+	switch n := e.(type) {
+	case *expr.Lit:
+		if n.V.Kind().Numeric() {
+			return NewNode("Number", n.V.String())
+		}
+		return NewNode("Literal", n.V.String())
+	case *expr.Column:
+		return NewNode("Column", n.String())
+	case *expr.Binary:
+		kind := "Cmp"
+		switch n.Op {
+		case expr.OpAnd, expr.OpOr:
+			kind = "Logic"
+		case expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv, expr.OpMod, expr.OpConcat:
+			kind = "Arith"
+		}
+		return NewNode(kind, n.Op.String(), exprTree(n.L), exprTree(n.R))
+	case *expr.Unary:
+		return NewNode("Unary", n.Op.String()+"", exprTree(n.X))
+	case *expr.Call:
+		node := NewNode("Call", n.Name)
+		for _, a := range n.Args {
+			node.Children = append(node.Children, exprTree(a))
+		}
+		return node
+	case *expr.Agg:
+		node := NewNode("Agg", n.Name)
+		if n.Arg != nil {
+			node.Children = append(node.Children, exprTree(n.Arg))
+		}
+		return node
+	case *expr.In:
+		node := NewNode("In", "")
+		node.Children = append(node.Children, exprTree(n.X))
+		return node
+	case *expr.IsNull:
+		return NewNode("IsNull", "", exprTree(n.X))
+	case *expr.Case:
+		node := NewNode("Case", "")
+		for _, w := range n.Whens {
+			node.Children = append(node.Children, NewNode("When", "", exprTree(w.Cond), exprTree(w.Result)))
+		}
+		if n.Else != nil {
+			node.Children = append(node.Children, NewNode("Else", "", exprTree(n.Else)))
+		}
+		return node
+	case *expr.Subquery:
+		if q, ok := n.Query.(parser.QueryExpr); ok {
+			return NewNode("Subquery", "", QueryTree(q))
+		}
+		return NewNode("Subquery", "")
+	default:
+		return NewNode("Expr", fmt.Sprintf("%T", e))
+	}
+}
+
+// Diff is one localized subtree difference between two ASTs: the paper's
+// "tweaks and incremental program changes amount to subtree differences at
+// the AST level". Path is the slash-joined node-type path from the root;
+// Old/New are the differing subtrees (nil when added/removed).
+type Diff struct {
+	Path string
+	Old  *Node
+	New  *Node
+}
+
+// DiffTrees computes the minimal list of subtree differences. Nodes are
+// matched positionally; a node with a changed type, label arity, or child
+// count becomes a single diff covering its whole subtree.
+func DiffTrees(a, b *Node) []Diff {
+	var out []Diff
+	diffRec(a, b, a.Type, &out)
+	return out
+}
+
+func diffRec(a, b *Node, path string, out *[]Diff) {
+	if a.Type != b.Type || len(a.Children) != len(b.Children) {
+		*out = append(*out, Diff{Path: path, Old: a, New: b})
+		return
+	}
+	if a.Label != b.Label && len(a.Children) == 0 {
+		*out = append(*out, Diff{Path: path, Old: a, New: b})
+		return
+	}
+	if a.Label != b.Label {
+		*out = append(*out, Diff{Path: path, Old: a, New: b})
+		return
+	}
+	for i := range a.Children {
+		diffRec(a.Children[i], b.Children[i], path+"/"+a.Children[i].Type, out)
+	}
+}

@@ -1,0 +1,187 @@
+package precision
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WidgetSpec describes one interface widget available to the synthesizer,
+// with the paper's two costs: Cvis, its visual complexity (the knapsack
+// weight), and Cact, the user effort to activate it (the objective term).
+// Covers lists the interaction names (rule MATCH targets) the widget can
+// express.
+type WidgetSpec struct {
+	Name   string
+	Cvis   float64
+	Cact   float64
+	Covers []string
+}
+
+// covers reports whether the widget expresses the interaction.
+func (w WidgetSpec) covers(interaction string) bool {
+	for _, c := range w.Covers {
+		if c == interaction {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultCatalog returns the widget catalog used for the SkyServer
+// experiments. Text boxes are cheap to render but expensive to use; the
+// specialized widgets invert that trade-off — the tension the knapsack
+// objective navigates.
+func DefaultCatalog() []WidgetSpec {
+	return []WidgetSpec{
+		{Name: "range-slider", Cvis: 3, Cact: 1, Covers: []string{"RangeSlider"}},
+		{Name: "projection-checkboxes", Cvis: 4, Cact: 1.5, Covers: []string{"ProjectionPicker"}},
+		{Name: "value-dropdown", Cvis: 2, Cact: 1, Covers: []string{"ValueDropdown"}},
+		{Name: "column-picker", Cvis: 2, Cact: 1.5, Covers: []string{"ColumnPicker"}},
+		{Name: "limit-stepper", Cvis: 1, Cact: 1, Covers: []string{"LimitStepper"}},
+		{Name: "filter-editor", Cvis: 6, Cact: 4, Covers: []string{"FilterEditor", "RangeSlider", "ValueDropdown", "ColumnPicker"}},
+		{Name: "sql-textbox", Cvis: 5, Cact: 8, Covers: []string{
+			"RangeSlider", "ProjectionPicker", "ValueDropdown", "ColumnPicker", "LimitStepper", "FilterEditor"}},
+	}
+}
+
+// SynthesisParams configures the widget-assignment problem of §3.4:
+//
+//	argmin_G 1/|L²| · Σ_(Qi,Qj) min_{w∈G} { Cact(w) if w covers (Qi,Qj);
+//	                                         penalty otherwise }
+//	s.t. Σ_{w∈G} Cvis(w) < MaxVis
+type SynthesisParams struct {
+	Catalog []WidgetSpec
+	// Penalty is applied to transformations no selected widget covers.
+	Penalty float64
+	// MaxVis bounds total visual complexity — the interface simplicity
+	// budget. Low values prefer simplicity (Figure 7b), high values prefer
+	// coverage (Figure 7c).
+	MaxVis float64
+}
+
+// Interface is a synthesized interface: the chosen widgets and the
+// objective value achieved.
+type Interface struct {
+	Widgets []WidgetSpec
+	// AvgCost is the objective: average per-transformation user cost.
+	AvgCost float64
+	// Covered is the fraction of transformations covered by some widget.
+	Covered  float64
+	TotalVis float64
+}
+
+// Synthesize solves the widget-assignment knapsack with the paper's greedy
+// heuristic: repeatedly add the widget with the best marginal objective
+// improvement per unit of visual complexity, while the budget allows.
+func Synthesize(g *Graph, p SynthesisParams) Interface {
+	if p.Penalty == 0 {
+		p.Penalty = 10
+	}
+	if len(p.Catalog) == 0 {
+		p.Catalog = DefaultCatalog()
+	}
+	counts := g.InteractionCounts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	// Unmatched pairs always pay the penalty; they only shift the
+	// objective by a constant, so track them for reporting.
+	unmatched := g.Unmatched
+
+	objective := func(chosen []WidgetSpec) (avg float64, covered float64) {
+		if total+unmatched == 0 {
+			return 0, 0
+		}
+		var cost float64
+		var cov int
+		for name, c := range counts {
+			best := p.Penalty
+			hit := false
+			for _, w := range chosen {
+				if w.covers(name) && w.Cact < best {
+					best = w.Cact
+					hit = true
+				}
+			}
+			cost += best * float64(c)
+			if hit {
+				cov += c
+			}
+		}
+		cost += p.Penalty * float64(unmatched)
+		return cost / float64(total+unmatched), float64(cov) / float64(total+unmatched)
+	}
+
+	var chosen []WidgetSpec
+	used := map[string]bool{}
+	vis := 0.0
+	cur, _ := objective(chosen)
+	for {
+		bestIdx := -1
+		bestGain := 0.0
+		for i, w := range p.Catalog {
+			if used[w.Name] || vis+w.Cvis >= p.MaxVis {
+				continue
+			}
+			next, _ := objective(append(chosen, w))
+			gain := (cur - next) / w.Cvis
+			if gain > bestGain {
+				bestGain = gain
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		w := p.Catalog[bestIdx]
+		chosen = append(chosen, w)
+		used[w.Name] = true
+		vis += w.Cvis
+		cur, _ = objective(chosen)
+	}
+	avg, covered := objective(chosen)
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].Name < chosen[j].Name })
+	return Interface{Widgets: chosen, AvgCost: avg, Covered: covered, TotalVis: vis}
+}
+
+// Mockup renders the synthesized interface as a text wireframe, the
+// Figure 7 presentation.
+func (ifc Interface) Mockup(title string) string {
+	var b strings.Builder
+	width := 46
+	line := "+" + strings.Repeat("-", width-2) + "+"
+	b.WriteString(line + "\n")
+	fmt.Fprintf(&b, "| %-*s |\n", width-4, title)
+	b.WriteString(line + "\n")
+	if len(ifc.Widgets) == 0 {
+		fmt.Fprintf(&b, "| %-*s |\n", width-4, "(no widgets fit the budget)")
+	}
+	for _, w := range ifc.Widgets {
+		var control string
+		switch w.Name {
+		case "range-slider":
+			control = "[=====|--------]  " + w.Name
+		case "projection-checkboxes":
+			control = "[x] a [x] b [ ] c  " + w.Name
+		case "value-dropdown":
+			control = "[ STAR      v ]  " + w.Name
+		case "column-picker":
+			control = "( u )( g )( r )  " + w.Name
+		case "limit-stepper":
+			control = "[ 10 ] [-] [+]  " + w.Name
+		case "filter-editor":
+			control = "[ col op value + ]  " + w.Name
+		case "sql-textbox":
+			control = "[ SELECT ...       ]  " + w.Name
+		default:
+			control = "[ " + w.Name + " ]"
+		}
+		fmt.Fprintf(&b, "| %-*s |\n", width-4, control)
+	}
+	b.WriteString(line + "\n")
+	fmt.Fprintf(&b, "avg activation cost %.2f, coverage %.1f%%, visual complexity %.0f\n",
+		ifc.AvgCost, ifc.Covered*100, ifc.TotalVis)
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is one row of a relation. Tuples are treated as immutable once
+// appended to a relation; snapshotting relies on this to share row storage
+// across versions.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Key returns a canonical string key for hashing the whole tuple.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		k := v.Key()
+		b.WriteByte(byte('0' + k.Kind()))
+		b.WriteString(k.String())
+	}
+	return b.String()
+}
+
+// Relation is a named, schema-typed bag of tuples. All DVMS state — base
+// data, views, marks relations, event tables — is stored as Relations.
+type Relation struct {
+	Name   string
+	Schema Schema
+	Rows   []Tuple
+}
+
+// New creates an empty relation.
+func New(name string, schema Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Append adds a row after checking arity. Kind checking is intentionally
+// loose (NULLs and numeric widening are pervasive in DeVIL programs).
+func (r *Relation) Append(t Tuple) error {
+	if len(t) != r.Schema.Len() {
+		return fmt.Errorf("relation %s: row arity %d does not match schema arity %d", r.Name, len(t), r.Schema.Len())
+	}
+	r.Rows = append(r.Rows, t)
+	return nil
+}
+
+// MustAppend is Append for statically known-correct rows; it panics on arity
+// mismatch, which indicates a programming error rather than bad data.
+func (r *Relation) MustAppend(t Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// Snapshot returns a copy of the relation that shares tuple storage. Because
+// tuples are immutable this is safe and makes version snapshots (@vnow-i,
+// @tnow-j) cheap: O(rows) pointers, no value copying.
+func (r *Relation) Snapshot() *Relation {
+	rows := make([]Tuple, len(r.Rows))
+	copy(rows, r.Rows)
+	return &Relation{Name: r.Name, Schema: r.Schema, Rows: rows}
+}
+
+// Clone returns a fully deep copy, used by tests and by callers that intend
+// to mutate tuples in place.
+func (r *Relation) Clone() *Relation {
+	rows := make([]Tuple, len(r.Rows))
+	for i, t := range r.Rows {
+		rows[i] = t.Clone()
+	}
+	return &Relation{Name: r.Name, Schema: r.Schema, Rows: rows}
+}
+
+// SortDeterministic orders rows by their canonical tuple keys. DVMS sorts
+// materialized views before diffing or rendering so outputs are stable across
+// runs regardless of hash iteration order.
+func (r *Relation) SortDeterministic() {
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		return compareTuples(r.Rows[i], r.Rows[j]) < 0
+	})
+}
+
+func compareTuples(a, b Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return cmpInt(len(a), len(b))
+}
+
+// CompareTuples exposes the deterministic tuple order for other packages.
+func CompareTuples(a, b Tuple) int { return compareTuples(a, b) }
+
+// Column extracts one column as a value slice.
+func (r *Relation) Column(name string) ([]Value, error) {
+	idx, err := r.Schema.IndexErr("", name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Value, len(r.Rows))
+	for i, t := range r.Rows {
+		out[i] = t[idx]
+	}
+	return out, nil
+}
+
+// String renders the relation as an aligned text table, the format used by
+// cmd/devil and the experiment harness.
+func (r *Relation) String() string {
+	names := make([]string, len(r.Schema.Cols))
+	widths := make([]int, len(r.Schema.Cols))
+	for i, c := range r.Schema.Cols {
+		names[i] = c.QName()
+		widths[i] = len(names[i])
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, t := range r.Rows {
+		row := make([]string, len(t))
+		for ci, v := range t {
+			row[ci] = v.String()
+			if ci < len(widths) && len(row[ci]) > widths[ci] {
+				widths[ci] = len(row[ci])
+			}
+		}
+		cells[ri] = row
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for p := len(cell); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Equal reports whether two relations hold the same bag of tuples (order
+// insensitive) over union-compatible schemas.
+func Equal(a, b *Relation) bool {
+	if a.Schema.Len() != b.Schema.Len() || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	counts := make(map[string]int, len(a.Rows))
+	for _, t := range a.Rows {
+		counts[t.Key()]++
+	}
+	for _, t := range b.Rows {
+		k := t.Key()
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() Schema {
+	return NewSchema(Col("id", KindInt), Col("name", KindString), Col("v", KindFloat))
+}
+
+func TestSchemaIndexQualified(t *testing.T) {
+	s := NewSchema(
+		Column{Qualifier: "a", Name: "x", Kind: KindInt},
+		Column{Qualifier: "b", Name: "x", Kind: KindInt},
+		Column{Qualifier: "b", Name: "y", Kind: KindInt},
+	)
+	if got := s.Index("a", "x"); got != 0 {
+		t.Errorf("Index(a.x) = %d", got)
+	}
+	if got := s.Index("b", "x"); got != 1 {
+		t.Errorf("Index(b.x) = %d", got)
+	}
+	if got := s.Index("", "y"); got != 2 {
+		t.Errorf("Index(y) = %d", got)
+	}
+	if _, err := s.IndexErr("", "x"); err == nil {
+		t.Error("unqualified x should be ambiguous")
+	}
+	if _, err := s.IndexErr("", "zz"); err == nil {
+		t.Error("missing column should error")
+	}
+	// case-insensitive
+	if got := s.Index("B", "Y"); got != 2 {
+		t.Errorf("Index(B.Y) = %d", got)
+	}
+}
+
+func TestSchemaQualifyConcat(t *testing.T) {
+	s := testSchema().Qualify("S")
+	for _, c := range s.Cols {
+		if c.Qualifier != "S" {
+			t.Fatalf("qualifier = %q", c.Qualifier)
+		}
+	}
+	j := s.Concat(testSchema().Qualify("T"))
+	if j.Len() != 6 {
+		t.Fatalf("concat len = %d", j.Len())
+	}
+	if j.Index("T", "id") != 3 {
+		t.Errorf("T.id index = %d", j.Index("T", "id"))
+	}
+}
+
+func TestRelationAppendArity(t *testing.T) {
+	r := New("t", testSchema())
+	if err := r.Append(Tuple{Int(1), String("a"), Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(Tuple{Int(1)}); err == nil {
+		t.Fatal("arity mismatch not rejected")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := New("t", testSchema())
+	r.MustAppend(Tuple{Int(1), String("a"), Float(1)})
+	snap := r.Snapshot()
+	r.MustAppend(Tuple{Int(2), String("b"), Float(2)})
+	if snap.Len() != 1 {
+		t.Fatalf("snapshot len = %d after mutation, want 1", snap.Len())
+	}
+	if r.Len() != 2 {
+		t.Fatalf("live len = %d", r.Len())
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	r := New("t", testSchema())
+	r.MustAppend(Tuple{Int(2), String("b"), Float(2)})
+	r.MustAppend(Tuple{Int(1), String("z"), Float(9)})
+	r.MustAppend(Tuple{Int(1), String("a"), Float(9)})
+	r.SortDeterministic()
+	if v, _ := r.Rows[0][0].AsInt(); v != 1 {
+		t.Fatal("sort by first column failed")
+	}
+	if r.Rows[0][1].AsString() != "a" {
+		t.Fatal("sort by second column failed")
+	}
+}
+
+func TestEqualBagSemantics(t *testing.T) {
+	a := New("a", testSchema())
+	b := New("b", testSchema())
+	a.MustAppend(Tuple{Int(1), String("x"), Float(1)})
+	a.MustAppend(Tuple{Int(1), String("x"), Float(1)})
+	a.MustAppend(Tuple{Int(2), String("y"), Float(2)})
+	b.MustAppend(Tuple{Int(2), String("y"), Float(2)})
+	b.MustAppend(Tuple{Int(1), String("x"), Float(1)})
+	b.MustAppend(Tuple{Int(1), String("x"), Float(1)})
+	if !Equal(a, b) {
+		t.Fatal("bags should be equal regardless of order")
+	}
+	b.Rows = b.Rows[:2]
+	if Equal(a, b) {
+		t.Fatal("different multiplicities should not be equal")
+	}
+}
+
+func TestTupleKeyDistinguishesKinds(t *testing.T) {
+	a := Tuple{Int(1), String("2")}
+	b := Tuple{Int(1), Int(2)}
+	if a.Key() == b.Key() {
+		t.Fatal("string \"2\" and int 2 must have different keys")
+	}
+	c := Tuple{Float(2), String("x")}
+	d := Tuple{Int(2), String("x")}
+	if c.Key() != d.Key() {
+		t.Fatal("Float(2) and Int(2) should share a key (SQL equality)")
+	}
+}
+
+// Property: Snapshot never observes later appends and CompareTuples is
+// consistent with bag equality.
+func TestSnapshotProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		r := New("p", NewSchema(Col("x", KindInt)))
+		for _, v := range vals {
+			r.MustAppend(Tuple{Int(v)})
+		}
+		snap := r.Snapshot()
+		r.MustAppend(Tuple{Int(999)})
+		return snap.Len() == len(vals) && Equal(snap, snap.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := New("t", NewSchema(Col("id", KindInt), Col("name", KindString)))
+	r.MustAppend(Tuple{Int(1), String("widget")})
+	out := r.String()
+	if !strings.Contains(out, "id") || !strings.Contains(out, "widget") {
+		t.Fatalf("table rendering missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected header+1 row, got %d lines", len(lines))
+	}
+}
+
+func TestColumnExtract(t *testing.T) {
+	r := New("t", testSchema())
+	r.MustAppend(Tuple{Int(1), String("a"), Float(0.5)})
+	r.MustAppend(Tuple{Int(2), String("b"), Float(1.5)})
+	col, err := r.Column("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col) != 2 || col[1].String() != "1.5" {
+		t.Fatalf("column = %v", col)
+	}
+	if _, err := r.Column("nope"); err == nil {
+		t.Fatal("missing column should error")
+	}
+}

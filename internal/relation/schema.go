@@ -1,0 +1,122 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation. Qualifier carries the table
+// alias a column was bound under ("SP" in "SP.productId"); it is empty for
+// base relations and filled in by the executor when scans are aliased.
+type Column struct {
+	Qualifier string
+	Name      string
+	Kind      Kind
+}
+
+// QName returns the display name, "qualifier.name" when qualified.
+func (c Column) QName() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from (name, kind) pairs.
+func NewSchema(cols ...Column) Schema { return Schema{Cols: cols} }
+
+// Col is a convenience constructor for an unqualified column.
+func Col(name string, kind Kind) Column { return Column{Name: name, Kind: kind} }
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Cols) }
+
+// Index resolves a possibly qualified column reference to a position.
+// Matching is case-insensitive on names. An unqualified reference matches a
+// column by name; if it matches more than one column the reference is
+// ambiguous and -1 is returned along with ErrAmbiguous via IndexErr.
+func (s Schema) Index(qualifier, name string) int {
+	idx, _ := s.IndexErr(qualifier, name)
+	return idx
+}
+
+// IndexErr is Index with an explanatory error for ambiguous or missing
+// references.
+func (s Schema) IndexErr(qualifier, name string) (int, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(c.Qualifier, qualifier) {
+			continue
+		}
+		if found >= 0 {
+			// Exact-qualifier duplicates are genuinely ambiguous; for
+			// unqualified lookups prefer reporting ambiguity so callers
+			// qualify the reference, matching SQL semantics.
+			return -1, fmt.Errorf("ambiguous column reference %q", Column{Qualifier: qualifier, Name: name}.QName())
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("unknown column %q", Column{Qualifier: qualifier, Name: name}.QName())
+	}
+	return found, nil
+}
+
+// Qualify returns a copy of the schema with every column's qualifier set to
+// alias (scans under "FROM Sales AS S" expose S.productId and so on).
+func (s Schema) Qualify(alias string) Schema {
+	out := Schema{Cols: make([]Column, len(s.Cols))}
+	for i, c := range s.Cols {
+		c.Qualifier = alias
+		out.Cols[i] = c
+	}
+	return out
+}
+
+// Concat returns the schema of a join output: the left columns followed by
+// the right columns.
+func (s Schema) Concat(o Schema) Schema {
+	out := Schema{Cols: make([]Column, 0, len(s.Cols)+len(o.Cols))}
+	out.Cols = append(out.Cols, s.Cols...)
+	out.Cols = append(out.Cols, o.Cols...)
+	return out
+}
+
+// UnionCompatible reports whether two schemas have the same arity. Column
+// kinds are allowed to differ (DeVIL programs freely mix int and float
+// projections across UNION branches); names come from the left branch as in
+// SQL.
+func (s Schema) UnionCompatible(o Schema) bool { return len(s.Cols) == len(o.Cols) }
+
+// Names returns the unqualified column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as "(a int, b string)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QName())
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

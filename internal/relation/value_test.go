@@ -1,0 +1,169 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Bool(true), KindBool},
+		{Int(7), KindInt},
+		{Float(2.5), KindFloat},
+		{String("x"), KindString},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	if Int(0).IsNull() {
+		t.Error("Int(0).IsNull() = true")
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if n, ok := Float(3.9).AsInt(); !ok || n != 3 {
+		t.Errorf("Float(3.9).AsInt() = %d,%v", n, ok)
+	}
+	if f, ok := Int(4).AsFloat(); !ok || f != 4 {
+		t.Errorf("Int(4).AsFloat() = %v,%v", f, ok)
+	}
+	if n, ok := String(" 42 ").AsInt(); !ok || n != 42 {
+		t.Errorf("String(42).AsInt() = %d,%v", n, ok)
+	}
+	if f, ok := String("2.5").AsFloat(); !ok || f != 2.5 {
+		t.Errorf("String(2.5).AsFloat() = %v,%v", f, ok)
+	}
+	if _, ok := Null().AsInt(); ok {
+		t.Error("Null().AsInt() ok = true")
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Error("Bool(true).AsBool() failed")
+	}
+	if _, ok := Int(1).AsBool(); ok {
+		t.Error("Int(1).AsBool() ok = true, want strict bool")
+	}
+}
+
+func TestValueTruthy(t *testing.T) {
+	truthy := []Value{Bool(true), Int(1), Int(-3), Float(0.1), String("a")}
+	falsy := []Value{Null(), Bool(false), Int(0), Float(0), String("")}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v.Truthy() = false", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v.Truthy() = true", v)
+		}
+	}
+}
+
+func TestValueCompareCrossKind(t *testing.T) {
+	if Int(3).Compare(Float(3.0)) != 0 {
+		t.Error("Int(3) != Float(3.0)")
+	}
+	if Int(3).Compare(Float(3.5)) >= 0 {
+		t.Error("Int(3) >= Float(3.5)")
+	}
+	if Null().Compare(Int(math.MinInt64)) >= 0 {
+		t.Error("NULL should sort before any int")
+	}
+	if Bool(true).Compare(Int(0)) >= 0 {
+		t.Error("bool should sort before numeric")
+	}
+	if Int(math.MaxInt64).Compare(String("")) >= 0 {
+		t.Error("numeric should sort before string")
+	}
+	if String("a").Compare(String("b")) >= 0 {
+		t.Error("string order broken")
+	}
+}
+
+// Property: Compare is a total order — antisymmetric and transitive over
+// randomly generated values.
+func TestValueCompareTotalOrder(t *testing.T) {
+	gen := func(a, b int64, fa, fb float64, sa, sb string, pick uint8) bool {
+		va := pickValue(pick&3, a, fa, sa)
+		vb := pickValue((pick>>2)&3, b, fb, sb)
+		ab, ba := va.Compare(vb), vb.Compare(va)
+		if ab != -ba {
+			return false
+		}
+		// reflexive
+		return va.Compare(va) == 0 && vb.Compare(vb) == 0
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCompareTransitive(t *testing.T) {
+	gen := func(a, b, c int64, fa, fb, fc float64, pick uint8) bool {
+		x := pickValue(pick&3, a, fa, "x")
+		y := pickValue((pick>>2)&3, b, fb, "y")
+		z := pickValue((pick>>4)&3, c, fc, "z")
+		if x.Compare(y) <= 0 && y.Compare(z) <= 0 {
+			return x.Compare(z) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pickValue(k uint8, i int64, f float64, s string) Value {
+	switch k {
+	case 0:
+		return Int(i)
+	case 1:
+		if math.IsNaN(f) {
+			f = 0
+		}
+		return Float(f)
+	case 2:
+		return String(s)
+	default:
+		return Null()
+	}
+}
+
+func TestValueKeyNormalizesIntegralFloats(t *testing.T) {
+	if Int(3).Key() != Float(3).Key() {
+		t.Error("Key() should collide Int(3) and Float(3)")
+	}
+	if Int(3).Key() == Float(3.5).Key() {
+		t.Error("Key() should not collide Int(3) and Float(3.5)")
+	}
+	inf := Float(math.Inf(1))
+	if inf.Key().Kind() != KindFloat {
+		t.Error("Key(+Inf) should remain float")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":  Null(),
+		"true":  Bool(true),
+		"false": Bool(false),
+		"42":    Int(42),
+		"2.5":   Float(2.5),
+		"hi":    String("hi"),
+	}
+	for want, v := range cases {
+		if v.String() != want {
+			t.Errorf("String() = %q, want %q", v.String(), want)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package relation
+
+import "fmt"
+
+// VersionKind distinguishes the temporal reference classes of DeVIL (§2.1.2):
+// the current working state, committed interaction versions (@vnow-i), and
+// intra-interaction event versions (@tnow-j).
+type VersionKind uint8
+
+const (
+	// VersionCurrent is an unsuffixed relation reference: the live state.
+	VersionCurrent VersionKind = iota
+	// VersionVNow is "@vnow-i": the committed state i interactions ago.
+	// Offset 0 means the most recent commit.
+	VersionVNow
+	// VersionTNow is "@tnow-j": the state j events ago within the current
+	// interaction (transaction). Offset 0 means the state after the latest
+	// applied event.
+	VersionTNow
+)
+
+// VersionRef names a relation state in time. The zero value is the live
+// state.
+type VersionRef struct {
+	Kind   VersionKind
+	Offset int
+}
+
+// Current returns the live-state reference.
+func Current() VersionRef { return VersionRef{} }
+
+// VNow returns the committed-version reference i interactions back.
+func VNow(i int) VersionRef { return VersionRef{Kind: VersionVNow, Offset: i} }
+
+// TNow returns the event-version reference j events back.
+func TNow(j int) VersionRef { return VersionRef{Kind: VersionTNow, Offset: j} }
+
+// IsCurrent reports whether the reference names the live state.
+func (v VersionRef) IsCurrent() bool { return v.Kind == VersionCurrent }
+
+// String renders the reference in DeVIL's suffix syntax.
+func (v VersionRef) String() string {
+	switch v.Kind {
+	case VersionVNow:
+		return fmt.Sprintf("@vnow-%d", v.Offset)
+	case VersionTNow:
+		return fmt.Sprintf("@tnow-%d", v.Offset)
+	default:
+		return ""
+	}
+}

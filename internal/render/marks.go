@@ -1,0 +1,190 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// MarkType enumerates the mark relations of the visual domain (§2.1.1): each
+// marks relation corresponds to one mark type with geometry and visual
+// encoding attributes.
+type MarkType uint8
+
+// Supported mark types.
+const (
+	MarkCircle MarkType = iota
+	MarkRect
+	MarkLine
+	MarkText
+)
+
+// String names the mark type as used in render(..., 'circle') calls.
+func (m MarkType) String() string {
+	switch m {
+	case MarkCircle:
+		return "circle"
+	case MarkRect:
+		return "rect"
+	case MarkLine:
+		return "line"
+	default:
+		return "text"
+	}
+}
+
+// ParseMarkType resolves a mark type name.
+func ParseMarkType(s string) (MarkType, error) {
+	switch strings.ToLower(s) {
+	case "circle", "point":
+		return MarkCircle, nil
+	case "rect", "bar", "rectangle":
+		return MarkRect, nil
+	case "line":
+		return MarkLine, nil
+	case "text", "label":
+		return MarkText, nil
+	default:
+		return 0, fmt.Errorf("unknown mark type %q", s)
+	}
+}
+
+// InferMarkType guesses the mark type from a marks relation's schema, the
+// behaviour of the paper's render table UDF when no explicit type is given:
+// center_x/center_y → circle, x/y/width/height → rect, x1/y1/x2/y2 → line,
+// x/y/text → text.
+func InferMarkType(s relation.Schema) (MarkType, error) {
+	has := func(name string) bool { return s.Index("", name) >= 0 }
+	switch {
+	case has("center_x") && has("center_y"):
+		return MarkCircle, nil
+	case has("x1") && has("y1") && has("x2") && has("y2"):
+		return MarkLine, nil
+	case has("x") && has("y") && has("text"):
+		return MarkText, nil
+	case has("x") && has("y") && has("width") && has("height"):
+		return MarkRect, nil
+	default:
+		return 0, fmt.Errorf("cannot infer mark type from schema %s", s)
+	}
+}
+
+// markCol fetches a float attribute with a default.
+func markCol(s relation.Schema, row relation.Tuple, name string, def float64) float64 {
+	idx := s.Index("", name)
+	if idx < 0 {
+		return def
+	}
+	f, ok := row[idx].AsFloat()
+	if !ok {
+		return def
+	}
+	return f
+}
+
+func markColor(s relation.Schema, row relation.Tuple, name string, def RGBA) RGBA {
+	idx := s.Index("", name)
+	if idx < 0 {
+		return def
+	}
+	c, err := ParseColor(row[idx].AsString())
+	if err != nil {
+		return def
+	}
+	return c
+}
+
+func markString(s relation.Schema, row relation.Tuple, name string) string {
+	idx := s.Index("", name)
+	if idx < 0 {
+		return ""
+	}
+	return row[idx].AsString()
+}
+
+// applyOpacity scales a color's alpha by the mark's opacity attribute.
+func applyOpacity(c RGBA, opacity float64) RGBA {
+	if opacity >= 1 {
+		return c
+	}
+	if opacity < 0 {
+		opacity = 0
+	}
+	c.A = uint8(float64(c.A) * opacity)
+	return c
+}
+
+// RenderMarks rasterizes every row of a marks relation onto the image. This
+// is the render table UDF of §2.1.1: the only DeVIL UDF permitted visual
+// side effects. Rows render in relation order (later marks paint over
+// earlier ones).
+func RenderMarks(img *Image, rel *relation.Relation, mt MarkType) error {
+	s := rel.Schema
+	for _, row := range rel.Rows {
+		opacity := markCol(s, row, "opacity", 1)
+		switch mt {
+		case MarkCircle:
+			cx := markCol(s, row, "center_x", 0)
+			cy := markCol(s, row, "center_y", 0)
+			r := markCol(s, row, "radius", 3)
+			fill := applyOpacity(markColor(s, row, "fill", RGBA{128, 128, 128, 255}), opacity)
+			stroke := applyOpacity(markColor(s, row, "stroke", RGBA{}), opacity)
+			img.FillCircle(cx, cy, r, fill)
+			img.StrokeCircle(cx, cy, r, stroke)
+		case MarkRect:
+			x := markCol(s, row, "x", 0)
+			y := markCol(s, row, "y", 0)
+			w := markCol(s, row, "width", 1)
+			h := markCol(s, row, "height", 1)
+			fill := applyOpacity(markColor(s, row, "fill", RGBA{128, 128, 128, 255}), opacity)
+			stroke := applyOpacity(markColor(s, row, "stroke", RGBA{}), opacity)
+			img.FillRect(x, y, w, h, fill)
+			img.StrokeRect(x, y, w, h, stroke)
+		case MarkLine:
+			x1 := markCol(s, row, "x1", 0)
+			y1 := markCol(s, row, "y1", 0)
+			x2 := markCol(s, row, "x2", 0)
+			y2 := markCol(s, row, "y2", 0)
+			stroke := applyOpacity(markColor(s, row, "stroke", RGBA{0, 0, 0, 255}), opacity)
+			img.DrawLine(int(x1), int(y1), int(x2), int(y2), stroke)
+		case MarkText:
+			x := markCol(s, row, "x", 0)
+			y := markCol(s, row, "y", 0)
+			fill := applyOpacity(markColor(s, row, "fill", RGBA{0, 0, 0, 255}), opacity)
+			img.DrawText(int(x), int(y), markString(s, row, "text"), fill)
+		}
+	}
+	return nil
+}
+
+// PixelsRelation exports the framebuffer as the pixels relation
+// P(x, y, r, g, b, a) of §2.1.1. The paper notes P's contents are maintained
+// by the rendering device and not materialized; this function materializes
+// them on demand for analysis. With sparse=true only non-background pixels
+// are emitted.
+func PixelsRelation(img *Image, sparse bool) *relation.Relation {
+	rel := relation.New("P", relation.NewSchema(
+		relation.Col("x", relation.KindInt),
+		relation.Col("y", relation.KindInt),
+		relation.Col("r", relation.KindInt),
+		relation.Col("g", relation.KindInt),
+		relation.Col("b", relation.KindInt),
+		relation.Col("a", relation.KindInt),
+	))
+	white := RGBA{255, 255, 255, 255}
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			p := img.Pix[y*img.W+x]
+			if sparse && p == white {
+				continue
+			}
+			rel.MustAppend(relation.Tuple{
+				relation.Int(int64(x)), relation.Int(int64(y)),
+				relation.Int(int64(p.R)), relation.Int(int64(p.G)),
+				relation.Int(int64(p.B)), relation.Int(int64(p.A)),
+			})
+		}
+	}
+	return rel
+}

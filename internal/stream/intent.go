@@ -1,0 +1,143 @@
+package stream
+
+import (
+	"math"
+
+	"repro/internal/workload"
+)
+
+// IntentModel estimates P(a_i, t): the probability that the user will
+// perform action a_i (interact with widget i) within time t. The paper's
+// observation (§3.3): interactions arrive through a constrained input
+// modality (the mouse), for which simple kinematic models work very well —
+// "the model is 82% accurate at predicting the widget that the user will
+// interact with in 200ms".
+//
+// The model extrapolates the pointer's position HorizonMs ahead using a
+// smoothed velocity estimate and softmaxes the negative distances to each
+// widget.
+type IntentModel struct {
+	Widgets []workload.Widget
+	// HorizonMs is the prediction horizon (the paper's 200 ms).
+	HorizonMs float64
+	// TauPx is the softmax temperature in pixels; smaller = sharper.
+	TauPx float64
+	// SmoothSamples is how many trailing samples the velocity estimate
+	// averages over (default 3).
+	SmoothSamples int
+}
+
+// NewIntentModel builds a model with the paper's 200 ms horizon.
+func NewIntentModel(widgets []workload.Widget) *IntentModel {
+	return &IntentModel{Widgets: widgets, HorizonMs: 200, TauPx: 60, SmoothSamples: 3}
+}
+
+// Predict returns a probability per widget given the pointer history so
+// far. A uniform distribution is returned when the history is too short to
+// estimate velocity — the "relatively uniform" regime in which the streaming
+// server interleaves data for many future actions.
+func (m *IntentModel) Predict(history []workload.MousePoint) []float64 {
+	n := len(m.Widgets)
+	probs := make([]float64, n)
+	if len(history) < 2 {
+		for i := range probs {
+			probs[i] = 1 / float64(n)
+		}
+		return probs
+	}
+	k := m.SmoothSamples
+	if k < 1 {
+		k = 3
+	}
+	if k >= len(history) {
+		k = len(history) - 1
+	}
+	last := history[len(history)-1]
+	prev := history[len(history)-1-k]
+	dt := float64(last.T - prev.T)
+	if dt <= 0 {
+		dt = 1
+	}
+	vx := (last.X - prev.X) / dt // px per ms
+	vy := (last.Y - prev.Y) / dt
+	px := last.X + vx*m.HorizonMs
+	py := last.Y + vy*m.HorizonMs
+
+	var sum float64
+	for i, w := range m.Widgets {
+		cx, cy := w.Center()
+		d := math.Hypot(px-cx, py-cy)
+		// Points inside the widget get distance 0.
+		if w.Contains(px, py) {
+			d = 0
+		}
+		probs[i] = math.Exp(-d / m.TauPx)
+		sum += probs[i]
+	}
+	if sum == 0 {
+		for i := range probs {
+			probs[i] = 1 / float64(n)
+		}
+		return probs
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// Top returns the argmax widget index of a probability vector.
+func Top(probs []float64) int {
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Entropy returns the Shannon entropy of the distribution in bits,
+// a measure of how "relatively uniform" the intent model currently is.
+func Entropy(probs []float64) float64 {
+	var h float64
+	for _, p := range probs {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// Evaluate measures top-1 accuracy of the model at predicting each trace's
+// target widget from the state HorizonMs before the trace ends — the
+// paper's evaluation protocol.
+func (m *IntentModel) Evaluate(traces []workload.MouseTrace) float64 {
+	correct := 0
+	for _, tr := range traces {
+		cut := cutAtHorizon(tr.Points, m.HorizonMs)
+		if cut < 2 {
+			cut = 2
+		}
+		probs := m.Predict(tr.Points[:cut])
+		if Top(probs) == tr.Target {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(traces))
+}
+
+// cutAtHorizon returns the number of samples whose timestamps precede the
+// trace end by at least horizon ms.
+func cutAtHorizon(pts []workload.MousePoint, horizonMs float64) int {
+	if len(pts) == 0 {
+		return 0
+	}
+	end := pts[len(pts)-1].T
+	for i := len(pts) - 1; i >= 0; i-- {
+		if float64(end-pts[i].T) >= horizonMs {
+			return i + 1
+		}
+	}
+	return 1
+}

@@ -1,0 +1,228 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Tile is a progressively encoded data tile (§3.3: "data tiles can readily
+// be progressively encoded, say, by using wavelet compression").
+type Tile struct {
+	ID     int
+	Size   int
+	Data   []float64
+	Coeffs []float64
+	// prefixEnergy[k] is the squared-coefficient energy captured by the
+	// first k progressive coefficients; the utility of a partial download
+	// is the captured energy fraction, a concave curve as He et al. assume.
+	prefixEnergy []float64
+	totalEnergy  float64
+}
+
+// NewTile encodes a size×size tile.
+func NewTile(id int, data []float64, size int) (*Tile, error) {
+	coeffs, err := HaarEncode2D(data, size)
+	if err != nil {
+		return nil, err
+	}
+	order := ProgressiveOrder(size)
+	prefix := make([]float64, len(order)+1)
+	var acc float64
+	for i, idx := range order {
+		acc += coeffs[idx] * coeffs[idx]
+		prefix[i+1] = acc
+	}
+	return &Tile{
+		ID: id, Size: size, Data: data, Coeffs: coeffs,
+		prefixEnergy: prefix, totalEnergy: acc,
+	}, nil
+}
+
+// Coefficients returns the total number of coefficients (the tile's
+// "bytes" in the simulation's transfer unit).
+func (t *Tile) Coefficients() int { return len(t.Coeffs) }
+
+// Utility returns the fraction of signal energy captured by the first k
+// progressive coefficients — the concave partial-execution utility of
+// He et al. translated to progressive encoding.
+func (t *Tile) Utility(k int) float64 {
+	if t.totalEnergy == 0 {
+		return 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(t.prefixEnergy) {
+		k = len(t.prefixEnergy) - 1
+	}
+	return t.prefixEnergy[k] / t.totalEnergy
+}
+
+// Decode reconstructs the tile from its first k progressive coefficients.
+func (t *Tile) Decode(k int) ([]float64, error) {
+	return DecodePrefix(t.Coeffs, t.Size, k)
+}
+
+// SyntheticTiles generates n smooth 2D fields (mixtures of Gaussian bumps),
+// the kind of pre-aggregated data-cube slice modern visualization systems
+// tile (imMens/ForeCache-style).
+func SyntheticTiles(n, size int, seed int64) ([]*Tile, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Tile, n)
+	for id := 0; id < n; id++ {
+		data := make([]float64, size*size)
+		bumps := 2 + rng.Intn(4)
+		type bump struct{ cx, cy, s, a float64 }
+		bs := make([]bump, bumps)
+		for b := range bs {
+			bs[b] = bump{
+				cx: rng.Float64() * float64(size),
+				cy: rng.Float64() * float64(size),
+				s:  float64(size) * (0.1 + rng.Float64()*0.2),
+				a:  10 + rng.Float64()*90,
+			}
+		}
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				var v float64
+				for _, b := range bs {
+					dx, dy := float64(x)-b.cx, float64(y)-b.cy
+					v += b.a * math.Exp(-(dx*dx+dy*dy)/(2*b.s*b.s))
+				}
+				data[y*size+x] = v
+			}
+		}
+		t, err := NewTile(id, data, size)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = t
+	}
+	return out, nil
+}
+
+// Transfer tracks how much of each tile the client holds.
+type Transfer struct {
+	Tiles    []*Tile
+	Received []int // coefficients received per tile
+}
+
+// NewTransfer starts an empty transfer state over the tiles.
+func NewTransfer(tiles []*Tile) *Transfer {
+	return &Transfer{Tiles: tiles, Received: make([]int, len(tiles))}
+}
+
+// Quality returns tile i's current utility.
+func (tr *Transfer) Quality(i int) float64 { return tr.Tiles[i].Utility(tr.Received[i]) }
+
+// Remaining returns the coefficients still missing for tile i.
+func (tr *Transfer) Remaining(i int) int { return tr.Tiles[i].Coefficients() - tr.Received[i] }
+
+// Scheduler allocates a bandwidth budget (in coefficients) across tiles for
+// one 50 ms round, given the current intent distribution.
+type Scheduler interface {
+	Name() string
+	Allocate(tr *Transfer, probs []float64, budget int)
+}
+
+// GreedyUtility implements the He et al.-style scheduler adapted in §3.3:
+// at every rescheduling point it spends bandwidth chunk by chunk on the
+// tile with the highest marginal expected utility P(a_i) · ΔU_i. Because
+// utilities are concave, the greedy chunk allocation maximizes total
+// expected utility, the convex-optimization objective of the original
+// formulation. Tiles whose "deadline passed" are simply rescheduled on the
+// next run, per the paper's adaptation.
+type GreedyUtility struct {
+	// Chunk is the allocation granularity in coefficients (default 16).
+	Chunk int
+}
+
+// Name identifies the scheduler in experiment output.
+func (g *GreedyUtility) Name() string { return "greedy-utility" }
+
+// Allocate spends the budget chunk-by-chunk on max marginal expected
+// utility.
+func (g *GreedyUtility) Allocate(tr *Transfer, probs []float64, budget int) {
+	chunk := g.Chunk
+	if chunk <= 0 {
+		chunk = 16
+	}
+	for budget > 0 {
+		best, bestGain := -1, 0.0
+		for i := range tr.Tiles {
+			rem := tr.Remaining(i)
+			if rem == 0 {
+				continue
+			}
+			step := chunk
+			if step > rem {
+				step = rem
+			}
+			gain := probs[i] * (tr.Tiles[i].Utility(tr.Received[i]+step) - tr.Quality(i))
+			if best < 0 || gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return // everything downloaded
+		}
+		step := chunk
+		if step > tr.Remaining(best) {
+			step = tr.Remaining(best)
+		}
+		if step > budget {
+			step = budget
+		}
+		tr.Received[best] += step
+		budget -= step
+	}
+}
+
+// RoundRobin splits the budget evenly across undownloaded tiles,
+// ignoring the intent model — the ablation baseline.
+type RoundRobin struct{}
+
+// Name identifies the scheduler.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Allocate hands equal chunks to each incomplete tile, cycling until the
+// budget is spent or every tile is complete.
+func (RoundRobin) Allocate(tr *Transfer, probs []float64, budget int) {
+	const chunk = 16
+	for budget > 0 {
+		progressed := false
+		for i := range tr.Tiles {
+			if budget <= 0 {
+				break
+			}
+			rem := tr.Remaining(i)
+			if rem == 0 {
+				continue
+			}
+			step := chunk
+			if step > rem {
+				step = rem
+			}
+			if step > budget {
+				step = budget
+			}
+			tr.Received[i] += step
+			budget -= step
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// NoPrefetch never streams anything ahead of the request — the classic
+// request-response model the paper identifies as the cause of
+// near-interactive latency.
+type NoPrefetch struct{}
+
+// Name identifies the scheduler.
+func (NoPrefetch) Name() string { return "request-response" }
+
+// Allocate does nothing: data moves only after an explicit request.
+func (NoPrefetch) Allocate(*Transfer, []float64, int) {}

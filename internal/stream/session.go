@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// SessionParams configures a simulated client/server streaming session: the
+// user moves the mouse between widgets (each widget owns one data tile);
+// the server continuously streams tile prefixes at bandwidth capacity,
+// guided by the shared intent model; every trace ends in a request for the
+// target widget's tile.
+type SessionParams struct {
+	Widgets []workload.Widget
+	Tiles   []*Tile
+	Traces  []workload.MouseTrace
+	Sched   Scheduler
+	// BandwidthPerTick is the transfer budget (coefficients) per TickMs.
+	BandwidthPerTick int
+	// TickMs is the rescheduling period; the paper re-runs the scheduler
+	// every 50 ms.
+	TickMs int64
+	// RenderableUtility is the quality threshold above which a partial
+	// tile counts as renderable (default 0.95 of signal energy).
+	RenderableUtility float64
+}
+
+func (p SessionParams) withDefaults() SessionParams {
+	if p.BandwidthPerTick == 0 {
+		p.BandwidthPerTick = 64
+	}
+	if p.TickMs == 0 {
+		p.TickMs = 50
+	}
+	if p.RenderableUtility == 0 {
+		p.RenderableUtility = 0.95
+	}
+	return p
+}
+
+// SessionResult aggregates a session's request-time metrics.
+type SessionResult struct {
+	Scheduler string
+	Requests  int
+	// MeanUtilityAtRequest is the requested tile's mean quality at the
+	// moment of the request.
+	MeanUtilityAtRequest float64
+	// RenderableAtRequest / RenderableWithin100ms are the fractions of
+	// requests whose tile was renderable immediately / within the 100 ms
+	// interactivity threshold the paper targets.
+	RenderableAtRequest    float64
+	RenderableWithin100ms  float64
+	MeanMsToRenderable     float64
+	TotalCoefficientsSent  int
+	MeanIntentEntropyAtReq float64
+}
+
+// RunSession simulates the session and returns aggregate metrics.
+func RunSession(p SessionParams) (SessionResult, error) {
+	p = p.withDefaults()
+	if len(p.Widgets) != len(p.Tiles) {
+		return SessionResult{}, fmt.Errorf("widgets (%d) and tiles (%d) must correspond", len(p.Widgets), len(p.Tiles))
+	}
+	model := NewIntentModel(p.Widgets)
+	tr := NewTransfer(p.Tiles)
+	res := SessionResult{Scheduler: p.Sched.Name()}
+
+	var utilSum, entSum, msToRenderSum float64
+	for _, trace := range p.Traces {
+		// Replay the trace; the scheduler runs every TickMs with the
+		// intent distribution computed from the pointer history so far.
+		var nextTick int64
+		if len(trace.Points) > 0 {
+			nextTick = trace.Points[0].T
+		}
+		for i := range trace.Points {
+			for trace.Points[i].T >= nextTick {
+				probs := model.Predict(trace.Points[:i+1])
+				before := sum(tr.Received)
+				p.Sched.Allocate(tr, probs, p.BandwidthPerTick)
+				res.TotalCoefficientsSent += sum(tr.Received) - before
+				nextTick += p.TickMs
+			}
+		}
+		// The trace ends in an interaction: a request for the target tile.
+		target := trace.Target
+		res.Requests++
+		probs := model.Predict(trace.Points)
+		entSum += Entropy(probs)
+		q := tr.Quality(target)
+		utilSum += q
+		if q >= p.RenderableUtility {
+			res.RenderableAtRequest++
+			res.RenderableWithin100ms++
+			continue
+		}
+		// After the explicit request, the server dedicates the full
+		// bandwidth to the requested tile.
+		needed := 0
+		for k := tr.Received[target]; k <= p.Tiles[target].Coefficients(); k++ {
+			if p.Tiles[target].Utility(k) >= p.RenderableUtility {
+				needed = k - tr.Received[target]
+				break
+			}
+		}
+		ticks := (needed + p.BandwidthPerTick - 1) / p.BandwidthPerTick
+		ms := float64(ticks) * float64(p.TickMs)
+		msToRenderSum += ms
+		if ms <= 100 {
+			res.RenderableWithin100ms++
+		}
+		tr.Received[target] += needed
+	}
+	n := float64(res.Requests)
+	if n > 0 {
+		res.MeanUtilityAtRequest = utilSum / n
+		res.RenderableAtRequest /= n
+		res.RenderableWithin100ms /= n
+		res.MeanMsToRenderable = msToRenderSum / n
+		res.MeanIntentEntropyAtReq = entSum / n
+	}
+	return res, nil
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// FormatResults renders a comparison table across schedulers (the A3
+// ablation and the §3.3 experiment output).
+func FormatResults(results []SessionResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s  %9s  %12s  %12s  %10s\n",
+		"scheduler", "util@req", "render@req", "render@100ms", "ms-to-rdr")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-18s  %9.3f  %11.1f%%  %11.1f%%  %10.0f\n",
+			r.Scheduler, r.MeanUtilityAtRequest,
+			r.RenderableAtRequest*100, r.RenderableWithin100ms*100,
+			r.MeanMsToRenderable)
+	}
+	return b.String()
+}

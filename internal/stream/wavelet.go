@@ -1,0 +1,170 @@
+// Package stream implements the §3.3 continuously-streaming framework for
+// near-interactive visualizations: progressively encoded data tiles (Haar
+// wavelets), a user intent model P(a_i, t) over a constrained input
+// modality, and a concave-utility partial-task scheduler in the style of
+// He et al.'s Zeta, re-run every 50 ms.
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// HaarEncode2D computes the 2D Haar wavelet transform of a size×size tile
+// (size must be a power of two). The result is a coefficient matrix with
+// the coarsest approximation at the top-left corner.
+func HaarEncode2D(data []float64, size int) ([]float64, error) {
+	if size*size != len(data) {
+		return nil, fmt.Errorf("haar: data length %d != %d^2", len(data), size)
+	}
+	if size&(size-1) != 0 || size == 0 {
+		return nil, fmt.Errorf("haar: size %d is not a power of two", size)
+	}
+	out := make([]float64, len(data))
+	copy(out, data)
+	tmp := make([]float64, size)
+	for n := size; n > 1; n /= 2 {
+		// rows
+		for r := 0; r < n; r++ {
+			haarStep(out[r*size:r*size+n], tmp[:n])
+		}
+		// columns
+		for c := 0; c < n; c++ {
+			for r := 0; r < n; r++ {
+				tmp[r] = out[r*size+c]
+			}
+			col := make([]float64, n)
+			copy(col, tmp[:n])
+			haarStep(col, tmp[:n])
+			for r := 0; r < n; r++ {
+				out[r*size+c] = col[r]
+			}
+		}
+	}
+	return out, nil
+}
+
+// haarStep performs one level of the 1D Haar transform in place:
+// averages to the front half, differences to the back half. The orthonormal
+// scaling (√2) keeps energy comparable across levels.
+func haarStep(v, tmp []float64) {
+	n := len(v)
+	h := n / 2
+	for i := 0; i < h; i++ {
+		tmp[i] = (v[2*i] + v[2*i+1]) / math.Sqrt2
+		tmp[h+i] = (v[2*i] - v[2*i+1]) / math.Sqrt2
+	}
+	copy(v, tmp[:n])
+}
+
+// haarInvStep inverts haarStep.
+func haarInvStep(v, tmp []float64) {
+	n := len(v)
+	h := n / 2
+	for i := 0; i < h; i++ {
+		tmp[2*i] = (v[i] + v[h+i]) / math.Sqrt2
+		tmp[2*i+1] = (v[i] - v[h+i]) / math.Sqrt2
+	}
+	copy(v, tmp[:n])
+}
+
+// HaarDecode2D inverts HaarEncode2D.
+func HaarDecode2D(coeffs []float64, size int) ([]float64, error) {
+	if size*size != len(coeffs) {
+		return nil, fmt.Errorf("haar: coeff length %d != %d^2", len(coeffs), size)
+	}
+	out := make([]float64, len(coeffs))
+	copy(out, coeffs)
+	tmp := make([]float64, size)
+	for n := 2; n <= size; n *= 2 {
+		// columns first (inverse order of encode)
+		for c := 0; c < n; c++ {
+			col := make([]float64, n)
+			for r := 0; r < n; r++ {
+				col[r] = out[r*size+c]
+			}
+			haarInvStep(col, tmp[:n])
+			for r := 0; r < n; r++ {
+				out[r*size+c] = col[r]
+			}
+		}
+		for r := 0; r < n; r++ {
+			haarInvStep(out[r*size:r*size+n], tmp[:n])
+		}
+	}
+	return out, nil
+}
+
+// ProgressiveOrder returns coefficient indices ordered coarse-to-fine: the
+// approximation coefficient first, then each detail level. A prefix of the
+// coefficients in this order is always decodable into a coherent
+// lower-resolution tile — the property §3.3 requires ("the client can, at
+// any time, render the partial set of data it has received").
+func ProgressiveOrder(size int) []int {
+	var order []int
+	seen := make([]bool, size*size)
+	add := func(idx int) {
+		if !seen[idx] {
+			seen[idx] = true
+			order = append(order, idx)
+		}
+	}
+	add(0)
+	for n := 1; n < size; n *= 2 {
+		// The three detail quadrants of level n: (0,n)-(n,2n), (n,0), (n,n).
+		for r := 0; r < n; r++ {
+			for c := n; c < 2*n; c++ {
+				add(r*size + c)
+			}
+		}
+		for r := n; r < 2*n; r++ {
+			for c := 0; c < 2*n; c++ {
+				add(r*size + c)
+			}
+		}
+	}
+	return order
+}
+
+// DecodePrefix reconstructs a tile from the first k progressive
+// coefficients (the rest treated as zero).
+func DecodePrefix(coeffs []float64, size, k int) ([]float64, error) {
+	order := ProgressiveOrder(size)
+	if k > len(order) {
+		k = len(order)
+	}
+	partial := make([]float64, len(coeffs))
+	for i := 0; i < k; i++ {
+		partial[order[i]] = coeffs[order[i]]
+	}
+	return HaarDecode2D(partial, size)
+}
+
+// L2Error computes the root-mean-square error between two tiles.
+func L2Error(a, b []float64) float64 {
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(a)))
+}
+
+// PSNR computes peak signal-to-noise ratio in dB given the data range; a
+// perfect reconstruction returns +Inf.
+func PSNR(orig, approx []float64) float64 {
+	lo, hi := orig[0], orig[0]
+	for _, v := range orig {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	rng := hi - lo
+	if rng == 0 {
+		rng = 1
+	}
+	rmse := L2Error(orig, approx)
+	if rmse == 0 {
+		return math.Inf(1)
+	}
+	return 20 * math.Log10(rng/rmse)
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MousePoint is one sample of a pointer trajectory.
+type MousePoint struct {
+	T    int64 // milliseconds
+	X, Y float64
+}
+
+// MouseTrace is a sampled pointer trajectory toward a target widget.
+type MouseTrace struct {
+	Points []MousePoint
+	// Target is the index of the widget the user ends on (ground truth for
+	// the §3.3 intent model evaluation).
+	Target int
+}
+
+// Widget is a rectangular interaction region on screen.
+type Widget struct {
+	Name       string
+	X, Y, W, H float64
+}
+
+// Center returns the widget's center point.
+func (w Widget) Center() (float64, float64) { return w.X + w.W/2, w.Y + w.H/2 }
+
+// Contains reports whether the point lies inside the widget.
+func (w Widget) Contains(x, y float64) bool {
+	return x >= w.X && x <= w.X+w.W && y >= w.Y && y <= w.Y+w.H
+}
+
+// WidgetGrid lays out cols×rows widgets over a wpx×hpx viewport with
+// margins, a typical faceted interface.
+func WidgetGrid(cols, rows int, wpx, hpx float64) []Widget {
+	out := make([]Widget, 0, cols*rows)
+	cw, ch := wpx/float64(cols), hpx/float64(rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out = append(out, Widget{
+				Name: widgetName(r*cols + c),
+				X:    float64(c)*cw + cw*0.1,
+				Y:    float64(r)*ch + ch*0.1,
+				W:    cw * 0.8,
+				H:    ch * 0.8,
+			})
+		}
+	}
+	return out
+}
+
+func widgetName(i int) string {
+	return "w" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+}
+
+// MouseTraces simulates n pointer movements, each starting at a random
+// position and approaching a randomly chosen target widget with a
+// critically damped (minimum-jerk-like) controller plus Gaussian jitter.
+// sampleMs is the sampling period (the paper's model predicts 200 ms ahead
+// over such traces). noise scales the jitter; 6-8 px yields ~80-85 % top-1
+// prediction accuracy at the 200 ms horizon, the paper's operating point.
+func MouseTraces(n int, widgets []Widget, sampleMs int64, noise float64, seed int64) []MouseTrace {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]MouseTrace, n)
+	for i := range out {
+		target := rng.Intn(len(widgets))
+		tx, ty := widgets[target].Center()
+		x := rng.Float64() * 800
+		y := rng.Float64() * 600
+		vx, vy := 0.0, 0.0
+		var pts []MousePoint
+		t := int64(0)
+		dt := float64(sampleMs) / 1000
+		const (
+			stiffness = 40.0
+			damping   = 12.0
+		)
+		for step := 0; step < 400; step++ {
+			pts = append(pts, MousePoint{T: t, X: x, Y: y})
+			// A few samples minimum, even when the pointer starts on the
+			// target: real traces always include some settle time.
+			if step >= 3 && widgets[target].Contains(x, y) && math.Hypot(vx, vy) < 30 {
+				break
+			}
+			ax := stiffness*(tx-x) - damping*vx
+			ay := stiffness*(ty-y) - damping*vy
+			vx += ax * dt
+			vy += ay * dt
+			x += vx*dt + rng.NormFloat64()*noise
+			y += vy*dt + rng.NormFloat64()*noise
+			t += sampleMs
+		}
+		out[i] = MouseTrace{Points: pts, Target: target}
+	}
+	return out
+}
+
+// LatencySampler draws request latencies. The §3.2 study uses mean-2.5 s
+// exponential ("random delay (mean=2.5sec)") and a zero-delay control.
+type LatencySampler struct {
+	MeanMs float64
+	rng    *rand.Rand
+}
+
+// NewLatencySampler creates a sampler; MeanMs 0 always returns 0.
+func NewLatencySampler(meanMs float64, seed int64) *LatencySampler {
+	return &LatencySampler{MeanMs: meanMs, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws the next latency in milliseconds.
+func (l *LatencySampler) Next() float64 {
+	if l.MeanMs <= 0 {
+		return 0
+	}
+	return l.rng.ExpFloat64() * l.MeanMs
+}

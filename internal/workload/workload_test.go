@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestSalesDeterministic(t *testing.T) {
+	a := Sales(500, 42)
+	b := Sales(500, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between identically seeded runs", i)
+		}
+	}
+	c := Sales(500, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSalesShape(t *testing.T) {
+	rows := Sales(2000, 1)
+	years := map[int]int{}
+	regions := map[string]int{}
+	var dec, other float64
+	var nDec, nOther int
+	for _, r := range rows {
+		if r.Year < 1995 || r.Year > 1998 {
+			t.Fatalf("year out of range: %d", r.Year)
+		}
+		if r.Month < 1 || r.Month > 12 || r.Weekday < 0 || r.Weekday > 6 {
+			t.Fatalf("bad month/weekday: %+v", r)
+		}
+		if r.Revenue <= 0 {
+			t.Fatalf("non-positive revenue: %+v", r)
+		}
+		years[r.Year]++
+		regions[r.Region]++
+		if r.Month == 12 {
+			dec += r.Revenue
+			nDec++
+		} else {
+			other += r.Revenue
+			nOther++
+		}
+	}
+	if len(years) != 4 || len(regions) < 4 {
+		t.Fatalf("dimension coverage: years=%d regions=%d", len(years), len(regions))
+	}
+	// December uplift should be visible in the mean.
+	if dec/float64(nDec) <= other/float64(nOther) {
+		t.Fatal("December mean revenue should exceed other months")
+	}
+	// Region skew: first region most frequent.
+	if regions[Regions[0]] <= regions[Regions[len(Regions)-1]] {
+		t.Fatal("region skew missing")
+	}
+}
+
+func TestSalesInsertsParse(t *testing.T) {
+	rows := Sales(50, 7)
+	src := SalesDDL + "\n" + SalesInserts(rows)
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("generated DeVIL does not parse: %v", err)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("statements = %d", len(stmts))
+	}
+}
+
+func TestWidgetGrid(t *testing.T) {
+	ws := WidgetGrid(4, 3, 800, 600)
+	if len(ws) != 12 {
+		t.Fatalf("widgets = %d", len(ws))
+	}
+	for i, w := range ws {
+		if w.W <= 0 || w.H <= 0 {
+			t.Fatalf("widget %d degenerate: %+v", i, w)
+		}
+		cx, cy := w.Center()
+		if !w.Contains(cx, cy) {
+			t.Fatalf("widget %d does not contain its center", i)
+		}
+	}
+	// widgets must not overlap
+	for i := range ws {
+		for j := i + 1; j < len(ws); j++ {
+			cx, cy := ws[j].Center()
+			if ws[i].Contains(cx, cy) {
+				t.Fatalf("widgets %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestMouseTracesReachTargets(t *testing.T) {
+	widgets := WidgetGrid(4, 3, 800, 600)
+	traces := MouseTraces(50, widgets, 20, 4, 11)
+	reached := 0
+	for _, tr := range traces {
+		if len(tr.Points) < 2 {
+			t.Fatal("trace too short")
+		}
+		last := tr.Points[len(tr.Points)-1]
+		if widgets[tr.Target].Contains(last.X, last.Y) {
+			reached++
+		}
+		for i := 1; i < len(tr.Points); i++ {
+			if tr.Points[i].T <= tr.Points[i-1].T {
+				t.Fatal("timestamps must increase")
+			}
+		}
+	}
+	if reached < 45 {
+		t.Fatalf("only %d/50 traces reached their target", reached)
+	}
+}
+
+func TestLatencySampler(t *testing.T) {
+	zero := NewLatencySampler(0, 1)
+	for i := 0; i < 10; i++ {
+		if zero.Next() != 0 {
+			t.Fatal("zero-mean sampler must return 0")
+		}
+	}
+	s := NewLatencySampler(2500, 1)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := s.Next()
+		if v < 0 {
+			t.Fatal("negative latency")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-2500) > 150 {
+		t.Fatalf("empirical mean = %.0f, want ≈2500", mean)
+	}
+}
+
+func TestSDSSLogCoverage(t *testing.T) {
+	log := SDSSLog(20000, 4)
+	if len(log) != 20000 {
+		t.Fatalf("log size = %d", len(log))
+	}
+	total, byTemplate := TemplateCoverage(log)
+	if total < 0.991 {
+		t.Fatalf("template coverage = %.4f, want >= 0.991 (paper)", total)
+	}
+	// Dominant template ≈ 70 %, second ≈ 12 % (paper's two most frequent
+	// interactions).
+	if byTemplate["box_search"] < 0.60 || byTemplate["box_search"] > 0.80 {
+		t.Fatalf("box_search share = %.3f, want ≈0.70", byTemplate["box_search"])
+	}
+	if byTemplate["redshift_scan"] < 0.07 || byTemplate["redshift_scan"] > 0.18 {
+		t.Fatalf("redshift_scan share = %.3f, want ≈0.12", byTemplate["redshift_scan"])
+	}
+	if len(byTemplate) != 6 {
+		t.Fatalf("templates = %d, want 6", len(byTemplate))
+	}
+}
+
+func TestSDSSLogQueriesParse(t *testing.T) {
+	log := SDSSLog(3000, 5)
+	for i, e := range log {
+		if _, err := parser.ParseQuery(e.SQL); err != nil {
+			t.Fatalf("entry %d does not parse: %q: %v", i, e.SQL, err)
+		}
+	}
+}
+
+func TestSDSSSessionsAreIncremental(t *testing.T) {
+	log := SDSSLog(5000, 6)
+	// Within a session, consecutive same-template queries must share a
+	// prefix (incremental tweaks, not rewrites).
+	checked := 0
+	for i := 1; i < len(log); i++ {
+		a, b := log[i-1], log[i]
+		if a.Session != b.Session || a.Template == "" || a.Template != b.Template {
+			continue
+		}
+		checked++
+		if commonPrefix(a.SQL, b.SQL) < 10 {
+			t.Fatalf("session %d queries are not incremental:\n%s\n%s", a.Session, a.SQL, b.SQL)
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("too few intra-session pairs checked: %d", checked)
+	}
+}
+
+func commonPrefix(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+func TestSDSSLogDeterministic(t *testing.T) {
+	a := SDSSLog(1000, 9)
+	b := SDSSLog(1000, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("log not deterministic")
+		}
+	}
+	if !strings.Contains(a[0].SQL, "SELECT") {
+		t.Fatal("queries must be SELECTs")
+	}
+}
