@@ -1,0 +1,30 @@
+# Build, verify, and benchmark targets. `make check` is the tier-1 gate
+# (build + vet + tests); `make bench` records the executor perf trajectory
+# that PERFORMANCE.md tracks across PRs.
+
+GO ?= go
+
+.PHONY: check build vet test bench bench-exec bench-engine
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs the executor microbenchmarks with allocation stats and writes
+# the experiment-series snapshot to BENCH_exec.json via cmd/dvms-bench.
+bench: bench-exec bench-engine
+
+bench-exec:
+	$(GO) test ./internal/exec -run '^$$' -bench . -benchmem | tee BENCH_exec_micro.txt
+	$(GO) run ./cmd/dvms-bench -experiment e2e -format json > BENCH_exec.json
+	@echo "wrote BENCH_exec_micro.txt and BENCH_exec.json"
+
+bench-engine:
+	$(GO) test . -run '^$$' -bench 'BenchmarkQueryEngine|BenchmarkEndToEndInteraction|BenchmarkFig1Crossfilter' -benchmem | tee BENCH_engine_micro.txt

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,23 +25,41 @@ func main() {
 		n            = flag.Int("n", 2000, "workload size (rows/products/queries, experiment dependent)")
 		participants = flag.Int("participants", 40, "simulated participants for fig5")
 		seed         = flag.Int64("seed", 7, "workload seed")
+		format       = flag.String("format", "text", "output format: text or json (machine-readable, for BENCH_*.json trajectories)")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *n, *participants, *seed); err != nil {
+	if err := run(*experiment, *format, *n, *participants, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "dvms-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, n, participants int, seed int64) error {
+func run(experiment, format string, n, participants int, seed int64) (err error) {
+	if format != "text" && format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", format)
+	}
+	var collected []experiments.Result
 	print := func(r experiments.Result, err error) error {
 		if err != nil {
 			return err
 		}
+		if format == "json" {
+			collected = append(collected, r)
+			return nil
+		}
 		fmt.Printf("=== %s — %s ===\n%s\n", r.ID, r.Title, r.Output)
 		return nil
 	}
+	// Emit JSON only on full success: a partial array in a redirected
+	// BENCH_*.json would read as a valid-but-incomplete trajectory.
+	defer func() {
+		if err == nil && format == "json" && len(collected) > 0 {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			err = enc.Encode(collected)
+		}
+	}()
 	switch experiment {
 	case "fig1":
 		return print(experiments.Fig1Crossfilter(n, seed))

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+)
 
 func TestRunSingleExperiments(t *testing.T) {
 	// Small sizes keep this a smoke test; the full suite runs via
@@ -16,14 +21,48 @@ func TestRunSingleExperiments(t *testing.T) {
 		{"a1", 100},
 	}
 	for _, c := range cases {
-		if err := run(c.experiment, c.n, 5, 1); err != nil {
+		if err := run(c.experiment, "text", c.n, 5, 1); err != nil {
 			t.Errorf("experiment %s: %v", c.experiment, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 10, 5, 1); err == nil {
+	if err := run("bogus", "text", 10, 5, 1); err == nil {
 		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	// Capture stdout: the JSON shape is the contract BENCH_*.json
+	// trajectory files depend on.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run("table1", "json", 10, 5, 1)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("json format: %v", runErr)
+	}
+	var results []struct{ ID, Title, Output string }
+	if err := json.Unmarshal(out, &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(results) != 1 || results[0].ID != "table1" || results[0].Output == "" {
+		t.Fatalf("unexpected JSON payload: %+v", results)
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	if err := run("table1", "jsn", 10, 5, 1); err == nil {
+		t.Fatal("unknown format should error")
 	}
 }

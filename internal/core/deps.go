@@ -158,6 +158,12 @@ type view struct {
 	// demand — the paper's observation that most lineage feeds filters and
 	// aggregates and need not be materialized (§3.1).
 	lin []exec.Lineage
+	// prepared is the view's bound plan: built, optimized, and compiled once
+	// (on first recompute after definition), then reused across every
+	// recompute of the interaction loop. Schemas are the only thing binding
+	// depends on, so the engine drops all cached plans whenever any view is
+	// (re)defined; data changes never invalidate it.
+	prepared *exec.Prepared
 }
 
 // renderSink describes one render() call: which mark type to use (empty =

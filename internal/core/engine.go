@@ -8,6 +8,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/render"
 )
@@ -347,6 +348,9 @@ func (e *Engine) defineView(stmt *parser.AssignStmt) error {
 	}
 	e.topo = topo
 	e.deps = dependents(e.views)
+	// A (re)definition can change schemas other bound plans were compiled
+	// against; they rebind lazily on their next recompute.
+	e.invalidatePlans()
 	// Materialize now (full recompute of this view and its dependents).
 	if err := e.recomputeView(v); err != nil {
 		return err
@@ -359,6 +363,35 @@ func (e *Engine) executor() *exec.Executor {
 	return &exec.Executor{Cat: e.store, Funcs: e.funcs}
 }
 
+// preparedFor returns the view's bound plan, building, optimizing, and
+// compiling it on first use. Every later recompute of the interaction loop
+// reuses the compiled evaluators; no per-event planning or name resolution.
+func (e *Engine) preparedFor(v *view) (*exec.Prepared, error) {
+	if v.prepared != nil {
+		return v.prepared, nil
+	}
+	p, err := plan.Build(v.query, e.store)
+	if err != nil {
+		return nil, err
+	}
+	p = plan.Optimize(p, e.funcs)
+	prep, err := exec.Prepare(p, e.funcs)
+	if err != nil {
+		return nil, err
+	}
+	v.prepared = prep
+	return prep, nil
+}
+
+// invalidatePlans drops every view's bound plan. Called when a view is
+// (re)defined, since redefinition can change schemas the other plans were
+// bound against; data changes never require this.
+func (e *Engine) invalidatePlans() {
+	for _, v := range e.views {
+		v.prepared = nil
+	}
+}
+
 // recomputeView materializes one view from its definition; under eager
 // provenance it also refreshes the view's lineage index.
 func (e *Engine) recomputeView(v *view) error {
@@ -368,14 +401,18 @@ func (e *Engine) recomputeView(v *view) error {
 	if v.isTrace {
 		rel, err = e.runTrace(v.query.(*parser.TraceStmt))
 	} else {
-		ex := e.executor()
-		ex.CaptureLineage = e.cfg.EagerProvenance
-		var res *exec.Result
-		res, err = ex.RunQuery(v.query)
+		var prep *exec.Prepared
+		prep, err = e.preparedFor(v)
 		if err == nil {
-			rel = exec.StripQualifiers(res.Rel)
-			if e.cfg.EagerProvenance {
-				v.lin = res.Lin
+			ex := e.executor()
+			ex.CaptureLineage = e.cfg.EagerProvenance
+			var res *exec.Result
+			res, err = ex.RunPrepared(prep)
+			if err == nil {
+				rel = exec.StripQualifiers(res.Rel)
+				if e.cfg.EagerProvenance {
+					v.lin = res.Lin
+				}
 			}
 		}
 	}

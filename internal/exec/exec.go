@@ -3,11 +3,18 @@
 // aggregation, set operations, sorting, subquery resolution, and — when
 // enabled — row-level lineage capture that powers the provenance subsystem
 // (§3.1).
+//
+// Execution is two-phase. Prepare binds a plan once — every expression is
+// compiled to a closure-based evaluator with positional column access
+// (expr.Bind), hash-joinable key conjuncts are split out, and aggregate
+// programs are laid out — and the resulting Prepared plan is run many times.
+// The engine caches one Prepared per view and reuses it across every
+// recompute of the interaction loop; ad-hoc queries prepare and run in one
+// call. See PERFORMANCE.md for the layout and the measured effect.
 package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/expr"
 	"repro/internal/parser"
@@ -52,7 +59,7 @@ func New(cat plan.Catalog) *Executor {
 	return &Executor{Cat: cat, Funcs: expr.NewRegistry()}
 }
 
-// RunQuery plans, optimizes, and executes a parsed query.
+// RunQuery plans, optimizes, prepares, and executes a parsed query.
 func (ex *Executor) RunQuery(q parser.QueryExpr) (*Result, error) {
 	p, err := plan.Build(q, ex.Cat)
 	if err != nil {
@@ -62,769 +69,21 @@ func (ex *Executor) RunQuery(q parser.QueryExpr) (*Result, error) {
 	return ex.Run(p)
 }
 
-// Run executes a logical plan.
+// Run prepares and executes a logical plan in one call. Callers that execute
+// the same plan repeatedly should Prepare once and use RunPrepared.
 func (ex *Executor) Run(n plan.Node) (*Result, error) {
-	switch t := n.(type) {
-	case *plan.Scan:
-		return ex.runScan(t)
-	case *plan.Filter:
-		return ex.runFilter(t)
-	case *plan.Project:
-		return ex.runProject(t)
-	case *plan.Join:
-		return ex.runJoin(t)
-	case *plan.Aggregate:
-		return ex.runAggregate(t)
-	case *plan.Sort:
-		return ex.runSort(t)
-	case *plan.Limit:
-		return ex.runLimit(t)
-	case *plan.Distinct:
-		return ex.runDistinct(t)
-	case *plan.SetOp:
-		return ex.runSetOp(t)
-	default:
-		// aliasProject and future wrappers expose Project behaviour via
-		// the generic interfaces.
-		if pr, ok := asProject(n); ok {
-			return ex.runProjectWith(pr, n.Schema())
-		}
-		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
-	}
-}
-
-// asProject extracts an embedded Project from wrapper nodes.
-func asProject(n plan.Node) (*plan.Project, bool) {
-	type projector interface{ AsProject() *plan.Project }
-	if p, ok := n.(projector); ok {
-		return p.AsProject(), true
-	}
-	return nil, false
-}
-
-// rowEnv adapts a (schema, tuple) pair to the expression evaluator.
-type rowEnv struct {
-	schema relation.Schema
-	row    relation.Tuple
-}
-
-// Lookup resolves a column reference positionally via the schema.
-func (e *rowEnv) Lookup(q, n string) (relation.Value, bool) {
-	idx := e.schema.Index(q, n)
-	if idx < 0 || idx >= len(e.row) {
-		return relation.Null(), false
-	}
-	return e.row[idx], true
-}
-
-func (ex *Executor) evalCtx(env expr.RowEnv) *expr.Context {
-	return &expr.Context{Row: env, Funcs: ex.Funcs}
-}
-
-// --- scan ---
-
-func (ex *Executor) runScan(s *plan.Scan) (*Result, error) {
-	if s.Name == "" { // constant SELECT: one empty row
-		rel := relation.New("", relation.Schema{})
-		rel.Rows = []relation.Tuple{{}}
-		res := &Result{Rel: rel}
-		if ex.CaptureLineage {
-			res.Lin = []Lineage{{}}
-		}
-		return res, nil
-	}
-	src, err := ex.Cat.Resolve(s.Name, s.Version)
+	p, err := Prepare(n, ex.Funcs)
 	if err != nil {
 		return nil, err
 	}
-	out := &relation.Relation{
-		Name:   s.Alias,
-		Schema: src.Schema.Qualify(s.Alias),
-		Rows:   src.Rows,
-	}
-	res := &Result{Rel: out}
-	if ex.CaptureLineage {
-		res.Lin = make([]Lineage, len(out.Rows))
-		for i := range res.Lin {
-			res.Lin[i] = Lineage{s.Name: []int{i}}
-		}
-	}
-	return res, nil
+	return ex.RunPrepared(p)
 }
 
-// --- filter ---
-
-func (ex *Executor) runFilter(f *plan.Filter) (*Result, error) {
-	in, err := ex.Run(f.Child)
-	if err != nil {
-		return nil, err
-	}
-	pred, err := ex.resolveExpr(f.Pred)
-	if err != nil {
-		return nil, err
-	}
-	out := relation.New(in.Rel.Name, in.Rel.Schema)
-	var lin []Lineage
-	env := &rowEnv{schema: in.Rel.Schema}
-	ctx := ex.evalCtx(env)
-	for i, row := range in.Rel.Rows {
-		env.row = row
-		v, err := pred.Eval(ctx)
-		if err != nil {
-			return nil, fmt.Errorf("filter %s: %w", pred.String(), err)
-		}
-		if !v.IsNull() && v.Truthy() {
-			out.Rows = append(out.Rows, row)
-			if ex.CaptureLineage {
-				lin = append(lin, in.Lin[i])
-			}
-		}
-	}
-	return &Result{Rel: out, Lin: lin}, nil
-}
-
-// --- project ---
-
-func (ex *Executor) runProject(p *plan.Project) (*Result, error) {
-	return ex.runProjectWith(p, p.Schema())
-}
-
-func (ex *Executor) runProjectWith(p *plan.Project, outSchema relation.Schema) (*Result, error) {
-	in, err := ex.Run(p.Child)
-	if err != nil {
-		return nil, err
-	}
-	items, err := ex.resolveItems(p.Items)
-	if err != nil {
-		return nil, err
-	}
-	out := relation.New("", outSchema)
-	env := &rowEnv{schema: in.Rel.Schema}
-	ctx := ex.evalCtx(env)
-	for _, row := range in.Rel.Rows {
-		env.row = row
-		t := make(relation.Tuple, len(items))
-		for c, it := range items {
-			v, err := it.Expr.Eval(ctx)
-			if err != nil {
-				return nil, fmt.Errorf("project %s: %w", it.Expr.String(), err)
-			}
-			t[c] = v
-		}
-		out.Rows = append(out.Rows, t)
-	}
-	return &Result{Rel: out, Lin: in.Lin}, nil
-}
-
-// --- join ---
-
-func (ex *Executor) runJoin(j *plan.Join) (*Result, error) {
-	l, err := ex.Run(j.L)
-	if err != nil {
-		return nil, err
-	}
-	r, err := ex.Run(j.R)
-	if err != nil {
-		return nil, err
-	}
-	pred, err := ex.resolveExpr(j.Pred)
-	if err != nil {
-		return nil, err
-	}
-	outSchema := l.Rel.Schema.Concat(r.Rel.Schema)
-	out := relation.New("", outSchema)
-	var lin []Lineage
-
-	leftKeys, rightKeys, residual := splitEquiJoin(pred, l.Rel.Schema, r.Rel.Schema)
-	emit := func(li, ri int, lrow, rrow relation.Tuple) {
-		t := make(relation.Tuple, 0, len(lrow)+len(rrow))
-		t = append(t, lrow...)
-		t = append(t, rrow...)
-		out.Rows = append(out.Rows, t)
-		if ex.CaptureLineage {
-			lin = append(lin, mergeLineage(l.Lin[li], r.Lin[ri]))
-		}
-	}
-	env := &rowEnv{schema: outSchema}
-	ctx := ex.evalCtx(env)
-	residualOK := func(lrow, rrow relation.Tuple) (bool, error) {
-		if residual == nil {
-			return true, nil
-		}
-		env.row = append(append(relation.Tuple{}, lrow...), rrow...)
-		v, err := residual.Eval(ctx)
-		if err != nil {
-			return false, fmt.Errorf("join predicate %s: %w", residual.String(), err)
-		}
-		return !v.IsNull() && v.Truthy(), nil
-	}
-
-	if len(leftKeys) > 0 {
-		// hash join: build on left, probe with right
-		build := make(map[string][]int, len(l.Rel.Rows))
-		lenv := &rowEnv{schema: l.Rel.Schema}
-		lctx := ex.evalCtx(lenv)
-		for i, row := range l.Rel.Rows {
-			lenv.row = row
-			key, err := evalKey(leftKeys, lctx)
-			if err != nil {
-				return nil, err
-			}
-			if key == "" {
-				continue // NULL join keys never match
-			}
-			build[key] = append(build[key], i)
-		}
-		renv := &rowEnv{schema: r.Rel.Schema}
-		rctx := ex.evalCtx(renv)
-		for ri, rrow := range r.Rel.Rows {
-			renv.row = rrow
-			key, err := evalKey(rightKeys, rctx)
-			if err != nil {
-				return nil, err
-			}
-			if key == "" {
-				continue
-			}
-			for _, li := range build[key] {
-				ok, err := residualOK(l.Rel.Rows[li], rrow)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					emit(li, ri, l.Rel.Rows[li], rrow)
-				}
-			}
-		}
-	} else {
-		for li, lrow := range l.Rel.Rows {
-			for ri, rrow := range r.Rel.Rows {
-				ok, err := residualOK(lrow, rrow)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					emit(li, ri, lrow, rrow)
-				}
-			}
-		}
-	}
-	return &Result{Rel: out, Lin: lin}, nil
-}
-
-// splitEquiJoin extracts hash-joinable equality conjuncts col(L)=col(R) from
-// the predicate; the rest is returned as a residual filter.
-func splitEquiJoin(pred expr.Expr, ls, rs relation.Schema) (leftKeys, rightKeys []expr.Expr, residual expr.Expr) {
-	if pred == nil {
-		return nil, nil, nil
-	}
-	var rest []expr.Expr
-	for _, c := range expr.Conjuncts(pred) {
-		b, ok := c.(*expr.Binary)
-		if !ok || b.Op != expr.OpEq {
-			rest = append(rest, c)
-			continue
-		}
-		switch {
-		case bindsIn(b.L, ls) && bindsIn(b.R, rs):
-			leftKeys = append(leftKeys, b.L)
-			rightKeys = append(rightKeys, b.R)
-		case bindsIn(b.R, ls) && bindsIn(b.L, rs):
-			leftKeys = append(leftKeys, b.R)
-			rightKeys = append(rightKeys, b.L)
-		default:
-			rest = append(rest, c)
-		}
-	}
-	return leftKeys, rightKeys, expr.AndAll(rest)
-}
-
-// bindsIn reports whether every column in e resolves within s and e contains
-// no subqueries or unresolved IN sources.
-func bindsIn(e expr.Expr, s relation.Schema) bool {
-	ok := true
-	hasCol := false
-	expr.Walk(e, func(x expr.Expr) bool {
-		switch c := x.(type) {
-		case *expr.Column:
-			hasCol = true
-			if _, err := s.IndexErr(c.Qualifier, c.Name); err != nil {
-				ok = false
-				return false
-			}
-		case *expr.Subquery, *expr.Agg:
-			ok = false
-			return false
-		}
-		return ok
-	})
-	return ok && hasCol
-}
-
-// evalKey renders join-key expressions to a canonical composite string; an
-// empty string means a NULL key (which never matches).
-func evalKey(keys []expr.Expr, ctx *expr.Context) (string, error) {
-	t := make(relation.Tuple, len(keys))
-	for i, k := range keys {
-		v, err := k.Eval(ctx)
-		if err != nil {
-			return "", fmt.Errorf("join key %s: %w", k.String(), err)
-		}
-		if v.IsNull() {
-			return "", nil
-		}
-		t[i] = v
-	}
-	return t.Key(), nil
-}
-
-// --- aggregate ---
-
-// aggSpec is one distinct aggregate call within an Aggregate node.
-type aggSpec struct {
-	agg *expr.Agg
-	key string
-}
-
-type aggState struct {
-	count    int64
-	sumF     float64
-	sumI     int64
-	intOnly  bool
-	seenAny  bool
-	min, max relation.Value
-	distinct map[relation.Value]struct{}
-}
-
-func newAggState() *aggState {
-	return &aggState{intOnly: true, min: relation.Null(), max: relation.Null()}
-}
-
-func (st *aggState) add(v relation.Value, distinct bool) {
-	if v.IsNull() {
-		return
-	}
-	if distinct {
-		if st.distinct == nil {
-			st.distinct = make(map[relation.Value]struct{})
-		}
-		if _, dup := st.distinct[v.Key()]; dup {
-			return
-		}
-		st.distinct[v.Key()] = struct{}{}
-	}
-	st.seenAny = true
-	st.count++
-	if f, ok := v.AsFloat(); ok {
-		st.sumF += f
-		if v.Kind() == relation.KindInt {
-			n, _ := v.AsInt()
-			st.sumI += n
-		} else {
-			st.intOnly = false
-		}
-	} else {
-		st.intOnly = false
-	}
-	if st.min.IsNull() || v.Compare(st.min) < 0 {
-		st.min = v
-	}
-	if st.max.IsNull() || v.Compare(st.max) > 0 {
-		st.max = v
-	}
-}
-
-func (st *aggState) result(name string, rowsInGroup int64, star bool) relation.Value {
-	switch name {
-	case "count":
-		if star {
-			return relation.Int(rowsInGroup)
-		}
-		return relation.Int(st.count)
-	case "sum":
-		if !st.seenAny {
-			return relation.Null()
-		}
-		if st.intOnly {
-			return relation.Int(st.sumI)
-		}
-		return relation.Float(st.sumF)
-	case "avg":
-		if !st.seenAny {
-			return relation.Null()
-		}
-		return relation.Float(st.sumF / float64(st.count))
-	case "min":
-		return st.min
-	case "max":
-		return st.max
-	default:
-		return relation.Null()
-	}
-}
-
-type group struct {
-	key     relation.Tuple
-	rep     relation.Tuple
-	rows    int64
-	states  []*aggState
-	lineage Lineage
-	order   int
-}
-
-func (ex *Executor) runAggregate(a *plan.Aggregate) (*Result, error) {
-	in, err := ex.Run(a.Child)
-	if err != nil {
-		return nil, err
-	}
-	items, err := ex.resolveItems(a.Items)
-	if err != nil {
-		return nil, err
-	}
-	having, err := ex.resolveExpr(a.Having)
-	if err != nil {
-		return nil, err
-	}
-	groupBy := make([]expr.Expr, len(a.GroupBy))
-	for i, g := range a.GroupBy {
-		gg, err := ex.resolveExpr(g)
-		if err != nil {
-			return nil, err
-		}
-		groupBy[i] = gg
-	}
-
-	// Collect distinct aggregate calls from outputs and HAVING.
-	var specs []aggSpec
-	specIdx := map[string]int{}
-	collect := func(e expr.Expr) {
-		for _, ag := range expr.Aggregates(e) {
-			k := ag.String()
-			if _, ok := specIdx[k]; !ok {
-				specIdx[k] = len(specs)
-				specs = append(specs, aggSpec{agg: ag, key: k})
-			}
-		}
-	}
-	for _, it := range items {
-		collect(it.Expr)
-	}
-	collect(having)
-
-	env := &rowEnv{schema: in.Rel.Schema}
-	ctx := ex.evalCtx(env)
-	groups := map[string]*group{}
-	var order []string
-	for i, row := range in.Rel.Rows {
-		env.row = row
-		keyT := make(relation.Tuple, len(groupBy))
-		for gi, g := range groupBy {
-			v, err := g.Eval(ctx)
-			if err != nil {
-				return nil, fmt.Errorf("group by %s: %w", g.String(), err)
-			}
-			keyT[gi] = v
-		}
-		k := keyT.Key()
-		grp, ok := groups[k]
-		if !ok {
-			grp = &group{key: keyT, rep: row, states: make([]*aggState, len(specs)), order: len(order)}
-			for si := range grp.states {
-				grp.states[si] = newAggState()
-			}
-			if ex.CaptureLineage {
-				grp.lineage = Lineage{}
-			}
-			groups[k] = grp
-			order = append(order, k)
-		}
-		grp.rows++
-		for si, sp := range specs {
-			if sp.agg.Arg == nil { // count(*)
-				continue
-			}
-			arg, err := ex.resolveExpr(sp.agg.Arg)
-			if err != nil {
-				return nil, err
-			}
-			v, err := arg.Eval(ctx)
-			if err != nil {
-				return nil, fmt.Errorf("aggregate %s: %w", sp.agg.String(), err)
-			}
-			grp.states[si].add(v, sp.agg.Distinct)
-		}
-		if ex.CaptureLineage {
-			grp.lineage = mergeLineage(grp.lineage, in.Lin[i])
-		}
-	}
-
-	// A global aggregate (no GROUP BY) over zero rows still yields one row.
-	if len(groups) == 0 && len(groupBy) == 0 {
-		grp := &group{rep: nil, states: make([]*aggState, len(specs))}
-		for si := range grp.states {
-			grp.states[si] = newAggState()
-		}
-		if ex.CaptureLineage {
-			grp.lineage = Lineage{}
-		}
-		groups[""] = grp
-		order = append(order, "")
-	}
-
-	out := relation.New("", a.Schema())
-	var lin []Lineage
-	for _, k := range order {
-		grp := groups[k]
-		genv := &groupEnv{schema: in.Rel.Schema, row: grp.rep}
-		gctx := ex.evalCtx(genv)
-		subst := func(e expr.Expr) expr.Expr {
-			return expr.Transform(e, func(x expr.Expr) expr.Expr {
-				if ag, ok := x.(*expr.Agg); ok {
-					si := specIdx[ag.String()]
-					return expr.Literal(grp.states[si].result(ag.Name, grp.rows, ag.Arg == nil))
-				}
-				return x
-			})
-		}
-		if having != nil {
-			hv, err := subst(having).Eval(gctx)
-			if err != nil {
-				return nil, fmt.Errorf("having: %w", err)
-			}
-			if hv.IsNull() || !hv.Truthy() {
-				continue
-			}
-		}
-		t := make(relation.Tuple, len(items))
-		for c, it := range items {
-			v, err := subst(it.Expr).Eval(gctx)
-			if err != nil {
-				return nil, fmt.Errorf("aggregate output %s: %w", it.Expr.String(), err)
-			}
-			t[c] = v
-		}
-		out.Rows = append(out.Rows, t)
-		if ex.CaptureLineage {
-			lin = append(lin, grp.lineage)
-		}
-	}
-	return &Result{Rel: out, Lin: lin}, nil
-}
-
-// groupEnv resolves columns against a group's representative row; with a nil
-// representative (empty global aggregate) every column is NULL.
-type groupEnv struct {
-	schema relation.Schema
-	row    relation.Tuple
-}
-
-// Lookup returns the representative row's value, or NULL for the empty
-// global group.
-func (e *groupEnv) Lookup(q, n string) (relation.Value, bool) {
-	if e.row == nil {
-		return relation.Null(), true
-	}
-	idx := e.schema.Index(q, n)
-	if idx < 0 || idx >= len(e.row) {
-		return relation.Null(), false
-	}
-	return e.row[idx], true
-}
-
-// --- sort / limit / distinct / set ops ---
-
-func (ex *Executor) runSort(s *plan.Sort) (*Result, error) {
-	in, err := ex.Run(s.Child)
-	if err != nil {
-		return nil, err
-	}
-	keys := make([]expr.Expr, len(s.Keys))
-	for i, k := range s.Keys {
-		kk, err := ex.resolveExpr(k.Expr)
-		if err != nil {
-			return nil, err
-		}
-		keys[i] = kk
-	}
-	type sortRow struct {
-		row  relation.Tuple
-		lin  Lineage
-		keys relation.Tuple
-	}
-	rows := make([]sortRow, len(in.Rel.Rows))
-	env := &rowEnv{schema: in.Rel.Schema}
-	ctx := ex.evalCtx(env)
-	for i, row := range in.Rel.Rows {
-		env.row = row
-		kt := make(relation.Tuple, len(keys))
-		for ki, k := range keys {
-			v, err := k.Eval(ctx)
-			if err != nil {
-				return nil, fmt.Errorf("order by %s: %w", k.String(), err)
-			}
-			kt[ki] = v
-		}
-		rows[i] = sortRow{row: row, keys: kt}
-		if ex.CaptureLineage {
-			rows[i].lin = in.Lin[i]
-		}
-	}
-	sort.SliceStable(rows, func(i, j int) bool {
-		for ki := range keys {
-			c := rows[i].keys[ki].Compare(rows[j].keys[ki])
-			if s.Keys[ki].Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
-	out := relation.New(in.Rel.Name, in.Rel.Schema)
-	var lin []Lineage
-	for _, r := range rows {
-		out.Rows = append(out.Rows, r.row)
-		if ex.CaptureLineage {
-			lin = append(lin, r.lin)
-		}
-	}
-	return &Result{Rel: out, Lin: lin}, nil
-}
-
-func (ex *Executor) runLimit(l *plan.Limit) (*Result, error) {
-	in, err := ex.Run(l.Child)
-	if err != nil {
-		return nil, err
-	}
-	n := l.N
-	if n > len(in.Rel.Rows) {
-		n = len(in.Rel.Rows)
-	}
-	out := relation.New(in.Rel.Name, in.Rel.Schema)
-	out.Rows = in.Rel.Rows[:n]
-	res := &Result{Rel: out}
-	if ex.CaptureLineage {
-		res.Lin = in.Lin[:n]
-	}
-	return res, nil
-}
-
-func (ex *Executor) runDistinct(d *plan.Distinct) (*Result, error) {
-	in, err := ex.Run(d.Child)
-	if err != nil {
-		return nil, err
-	}
-	out := relation.New(in.Rel.Name, in.Rel.Schema)
-	var lin []Lineage
-	index := map[string]int{}
-	for i, row := range in.Rel.Rows {
-		k := row.Key()
-		if at, dup := index[k]; dup {
-			if ex.CaptureLineage {
-				lin[at] = mergeLineage(lin[at], in.Lin[i])
-			}
-			continue
-		}
-		index[k] = len(out.Rows)
-		out.Rows = append(out.Rows, row)
-		if ex.CaptureLineage {
-			lin = append(lin, in.Lin[i])
-		}
-	}
-	return &Result{Rel: out, Lin: lin}, nil
-}
-
-func (ex *Executor) runSetOp(s *plan.SetOp) (*Result, error) {
-	l, err := ex.Run(s.L)
-	if err != nil {
-		return nil, err
-	}
-	r, err := ex.Run(s.R)
-	if err != nil {
-		return nil, err
-	}
-	if l.Rel.Schema.Len() != r.Rel.Schema.Len() {
-		return nil, fmt.Errorf("set operands are not union compatible")
-	}
-	out := relation.New("", l.Rel.Schema)
-	var lin []Lineage
-	switch s.Kind {
-	case plan.SetUnion:
-		if s.All {
-			out.Rows = append(append([]relation.Tuple{}, l.Rel.Rows...), r.Rel.Rows...)
-			if ex.CaptureLineage {
-				lin = append(append([]Lineage{}, l.Lin...), r.Lin...)
-			}
-			return &Result{Rel: out, Lin: lin}, nil
-		}
-		index := map[string]int{}
-		add := func(rows []relation.Tuple, lins []Lineage) {
-			for i, row := range rows {
-				k := row.Key()
-				if at, dup := index[k]; dup {
-					if ex.CaptureLineage {
-						lin[at] = mergeLineage(lin[at], lins[i])
-					}
-					continue
-				}
-				index[k] = len(out.Rows)
-				out.Rows = append(out.Rows, row)
-				if ex.CaptureLineage {
-					lin = append(lin, lins[i])
-				}
-			}
-		}
-		add(l.Rel.Rows, l.Lin)
-		add(r.Rel.Rows, r.Lin)
-	case plan.SetMinus: // set semantics, as SQL EXCEPT
-		right := map[string]bool{}
-		for _, row := range r.Rel.Rows {
-			right[row.Key()] = true
-		}
-		seen := map[string]int{}
-		for i, row := range l.Rel.Rows {
-			k := row.Key()
-			if right[k] {
-				continue
-			}
-			if at, dup := seen[k]; dup {
-				if ex.CaptureLineage {
-					lin[at] = mergeLineage(lin[at], l.Lin[i])
-				}
-				continue
-			}
-			seen[k] = len(out.Rows)
-			out.Rows = append(out.Rows, row)
-			if ex.CaptureLineage {
-				lin = append(lin, l.Lin[i])
-			}
-		}
-	default: // intersect (set semantics)
-		right := map[string]bool{}
-		for _, row := range r.Rel.Rows {
-			right[row.Key()] = true
-		}
-		seen := map[string]int{}
-		for i, row := range l.Rel.Rows {
-			k := row.Key()
-			if !right[k] {
-				continue
-			}
-			if at, dup := seen[k]; dup {
-				if ex.CaptureLineage {
-					lin[at] = mergeLineage(lin[at], l.Lin[i])
-				}
-				continue
-			}
-			seen[k] = len(out.Rows)
-			out.Rows = append(out.Rows, row)
-			if ex.CaptureLineage {
-				lin = append(lin, l.Lin[i])
-			}
-		}
-	}
-	return &Result{Rel: out, Lin: lin}, nil
+// RunPrepared executes a bound plan against the executor's catalog. A
+// Prepared holds per-operator scratch state and must not be run from
+// multiple goroutines concurrently.
+func (ex *Executor) RunPrepared(p *Prepared) (*Result, error) {
+	return p.root.run(ex)
 }
 
 // --- subquery / IN-source resolution ---

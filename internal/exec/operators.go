@@ -1,0 +1,713 @@
+package exec
+
+// Bound operator execution. Every operator evaluates compiled expressions
+// (expr.Compiled) over an expr.Env whose Row field is repointed per input
+// row — no name resolution, no tree walks — and the hashing operators key
+// their tables with Tuple.Hash/Tuple.Equal instead of per-row key strings.
+// Output relations are preallocated from input cardinalities and output
+// tuples are carved from value arenas.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// --- scan ---
+
+type bScan struct {
+	s *plan.Scan
+}
+
+func (b *bScan) run(ex *Executor) (*Result, error) {
+	s := b.s
+	if s.Name == "" { // constant SELECT: one empty row
+		rel := relation.New("", relation.Schema{})
+		rel.Rows = []relation.Tuple{{}}
+		res := &Result{Rel: rel}
+		if ex.CaptureLineage {
+			res.Lin = []Lineage{{}}
+		}
+		return res, nil
+	}
+	src, err := ex.Cat.Resolve(s.Name, s.Version)
+	if err != nil {
+		return nil, err
+	}
+	out := &relation.Relation{
+		Name:   s.Alias,
+		Schema: src.Schema.Qualify(s.Alias),
+		Rows:   src.Rows,
+	}
+	res := &Result{Rel: out}
+	if ex.CaptureLineage {
+		res.Lin = make([]Lineage, len(out.Rows))
+		for i := range res.Lin {
+			res.Lin[i] = Lineage{s.Name: []int{i}}
+		}
+	}
+	return res, nil
+}
+
+// --- filter ---
+
+type bFilter struct {
+	child bnode
+	pred  bexpr
+}
+
+func (b *bFilter) run(ex *Executor) (*Result, error) {
+	in, err := b.child.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := b.pred.get(ex)
+	if err != nil {
+		return nil, err
+	}
+	// Filter output cardinality is unknown (often a small fraction of the
+	// input); geometric append growth beats preallocating at input size.
+	out := relation.New(in.Rel.Name, in.Rel.Schema)
+	var lin []Lineage
+	env := &expr.Env{}
+	for i, row := range in.Rel.Rows {
+		env.Row = row
+		v, err := pred(env)
+		if err != nil {
+			return nil, fmt.Errorf("filter %s: %w", b.pred.String(), err)
+		}
+		if !v.IsNull() && v.Truthy() {
+			out.Rows = append(out.Rows, row)
+			if ex.CaptureLineage {
+				lin = append(lin, in.Lin[i])
+			}
+		}
+	}
+	return &Result{Rel: out, Lin: lin}, nil
+}
+
+// --- project ---
+
+type bProject struct {
+	child     bnode
+	outSchema relation.Schema
+	items     []bexpr
+	static    []expr.Compiled // set when every item compiled at prepare time
+}
+
+func (b *bProject) run(ex *Executor) (*Result, error) {
+	in, err := b.child.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	fns := b.static
+	if fns == nil {
+		fns = make([]expr.Compiled, len(b.items))
+		for i := range b.items {
+			fns[i], err = b.items[i].get(ex)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := relation.New("", b.outSchema)
+	out.Rows = make([]relation.Tuple, 0, len(in.Rel.Rows))
+	env := &expr.Env{}
+	var arena valueArena
+	arena.expect(len(in.Rel.Rows) * len(fns))
+	for _, row := range in.Rel.Rows {
+		env.Row = row
+		t := arena.alloc(len(fns))
+		for c, fn := range fns {
+			v, err := fn(env)
+			if err != nil {
+				return nil, fmt.Errorf("project %s: %w", b.items[c].String(), err)
+			}
+			t[c] = v
+		}
+		out.Rows = append(out.Rows, t)
+	}
+	return &Result{Rel: out, Lin: in.Lin}, nil
+}
+
+// --- join ---
+
+type bJoin struct {
+	l, r         bnode
+	outSchema    relation.Schema // concat of the sides, fixed at prepare time
+	lw, rw       int             // side widths
+	lks, rks     []expr.Compiled // equi-key evaluators, bound to each side
+	lkRaw, rkRaw []expr.Expr     // key expressions, for error text
+	residual     bexpr
+}
+
+func (b *bJoin) run(ex *Executor) (*Result, error) {
+	l, err := b.l.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.r.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	residual, err := b.residual.get(ex)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New("", b.outSchema)
+	var lin []Lineage
+
+	lw, rw := b.lw, b.rw
+	var arena valueArena
+	guess := len(l.Rel.Rows)
+	if len(r.Rel.Rows) > guess {
+		guess = len(r.Rel.Rows)
+	}
+	arena.expect(guess * (lw + rw))
+	emit := func(li, ri int, lrow, rrow relation.Tuple) {
+		t := arena.alloc(len(lrow) + len(rrow))
+		copy(t, lrow)
+		copy(t[len(lrow):], rrow)
+		out.Rows = append(out.Rows, t)
+		if ex.CaptureLineage {
+			lin = append(lin, mergeLineage(l.Lin[li], r.Lin[ri]))
+		}
+	}
+	env := &expr.Env{}
+	// One scratch tuple serves every residual check; the concatenation is
+	// only materialized for real when a pair survives and emit runs.
+	scratch := make(relation.Tuple, 0, lw+rw)
+	residualOK := func(lrow, rrow relation.Tuple) (bool, error) {
+		if residual == nil {
+			return true, nil
+		}
+		scratch = append(append(scratch[:0], lrow...), rrow...)
+		env.Row = scratch
+		v, err := residual(env)
+		if err != nil {
+			return false, fmt.Errorf("join predicate %s: %w", b.residual.String(), err)
+		}
+		return !v.IsNull() && v.Truthy(), nil
+	}
+
+	if len(b.lks) > 0 {
+		// hash join: build on left, probe with right
+		table := newJoinTable(len(l.Rel.Rows), len(b.lks))
+		key := make(relation.Tuple, len(b.lks))
+		for i, row := range l.Rel.Rows {
+			env.Row = row
+			null, err := evalKeys(b.lks, b.lkRaw, key, env)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue // NULL join keys never match
+			}
+			table.insert(key, i)
+		}
+		out.Rows = make([]relation.Tuple, 0, len(r.Rel.Rows))
+		for ri, rrow := range r.Rel.Rows {
+			env.Row = rrow
+			null, err := evalKeys(b.rks, b.rkRaw, key, env)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue
+			}
+			for _, li := range table.probe(key) {
+				ok, err := residualOK(l.Rel.Rows[li], rrow)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					emit(li, ri, l.Rel.Rows[li], rrow)
+				}
+			}
+		}
+	} else {
+		for li, lrow := range l.Rel.Rows {
+			for ri, rrow := range r.Rel.Rows {
+				ok, err := residualOK(lrow, rrow)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					emit(li, ri, lrow, rrow)
+				}
+			}
+		}
+	}
+	return &Result{Rel: out, Lin: lin}, nil
+}
+
+// evalKeys fills the scratch key tuple from the compiled key evaluators; a
+// true first result means a NULL key (which never matches any row).
+func evalKeys(fns []expr.Compiled, raw []expr.Expr, key relation.Tuple, env *expr.Env) (bool, error) {
+	for i, fn := range fns {
+		v, err := fn(env)
+		if err != nil {
+			return false, fmt.Errorf("join key %s: %w", raw[i].String(), err)
+		}
+		if v.IsNull() {
+			return true, nil
+		}
+		key[i] = v
+	}
+	return false, nil
+}
+
+// --- aggregate ---
+
+type aggState struct {
+	count    int64
+	sumF     float64
+	sumI     int64
+	intOnly  bool
+	seenAny  bool
+	min, max relation.Value
+	distinct map[relation.Value]struct{}
+}
+
+func newAggState() *aggState {
+	return &aggState{intOnly: true, min: relation.Null(), max: relation.Null()}
+}
+
+func (st *aggState) add(v relation.Value, distinct bool) {
+	if v.IsNull() {
+		return
+	}
+	if distinct {
+		if st.distinct == nil {
+			st.distinct = make(map[relation.Value]struct{})
+		}
+		if _, dup := st.distinct[v.Key()]; dup {
+			return
+		}
+		st.distinct[v.Key()] = struct{}{}
+	}
+	st.seenAny = true
+	st.count++
+	if f, ok := v.AsFloat(); ok {
+		st.sumF += f
+		if v.Kind() == relation.KindInt {
+			n, _ := v.AsInt()
+			st.sumI += n
+		} else {
+			st.intOnly = false
+		}
+	} else {
+		st.intOnly = false
+	}
+	if st.min.IsNull() || v.Compare(st.min) < 0 {
+		st.min = v
+	}
+	if st.max.IsNull() || v.Compare(st.max) > 0 {
+		st.max = v
+	}
+}
+
+func (st *aggState) result(name string, rowsInGroup int64, star bool) relation.Value {
+	switch name {
+	case "count":
+		if star {
+			return relation.Int(rowsInGroup)
+		}
+		return relation.Int(st.count)
+	case "sum":
+		if !st.seenAny {
+			return relation.Null()
+		}
+		if st.intOnly {
+			return relation.Int(st.sumI)
+		}
+		return relation.Float(st.sumF)
+	case "avg":
+		if !st.seenAny {
+			return relation.Null()
+		}
+		return relation.Float(st.sumF / float64(st.count))
+	case "min":
+		return st.min
+	case "max":
+		return st.max
+	default:
+		return relation.Null()
+	}
+}
+
+type group struct {
+	key     relation.Tuple
+	rep     relation.Tuple
+	rows    int64
+	states  []*aggState
+	lineage Lineage
+}
+
+type bAggregate struct {
+	child    bnode
+	a        *plan.Aggregate
+	inSchema relation.Schema
+	// static is the program compiled at prepare time; nil when some
+	// expression needs per-execution subquery resolution first.
+	static *aggProgram
+}
+
+func (b *bAggregate) run(ex *Executor) (*Result, error) {
+	in, err := b.child.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	prog := b.static
+	if prog == nil {
+		groupBy := make([]expr.Expr, len(b.a.GroupBy))
+		for i, g := range b.a.GroupBy {
+			if groupBy[i], err = ex.resolveExpr(g); err != nil {
+				return nil, err
+			}
+		}
+		items, err := ex.resolveItems(b.a.Items)
+		if err != nil {
+			return nil, err
+		}
+		having, err := ex.resolveExpr(b.a.Having)
+		if err != nil {
+			return nil, err
+		}
+		prog = compileAgg(groupBy, items, having, b.inSchema, ex.Funcs)
+	}
+
+	nk := len(prog.groupBy)
+	env := &expr.Env{}
+	key := make(relation.Tuple, nk)
+	// Group count is unknown up front; batch key storage a few groups at a
+	// time rather than one allocation per group.
+	var keyArena valueArena
+	keyArena.expect(16 * nk)
+	groups := make(map[uint64][]*group)
+	var order []*group
+	newGroup := func(h uint64, rep relation.Tuple) *group {
+		grp := &group{rep: rep, states: make([]*aggState, len(prog.specs))}
+		if rep != nil {
+			grp.key = keyArena.alloc(nk)
+			copy(grp.key, key)
+		}
+		for si := range grp.states {
+			grp.states[si] = newAggState()
+		}
+		if ex.CaptureLineage {
+			grp.lineage = Lineage{}
+		}
+		groups[h] = append(groups[h], grp)
+		order = append(order, grp)
+		return grp
+	}
+	for i, row := range in.Rel.Rows {
+		env.Row = row
+		for gi, g := range prog.groupBy {
+			v, err := g(env)
+			if err != nil {
+				return nil, fmt.Errorf("group by %s: %w", prog.groupStr[gi], err)
+			}
+			key[gi] = v
+		}
+		h := key.Hash()
+		var grp *group
+		for _, cand := range groups[h] {
+			if cand.key.Equal(key) {
+				grp = cand
+				break
+			}
+		}
+		if grp == nil {
+			grp = newGroup(h, row)
+		}
+		grp.rows++
+		for si := range prog.specs {
+			sp := &prog.specs[si]
+			if sp.arg == nil { // count(*)
+				continue
+			}
+			v, err := sp.arg(env)
+			if err != nil {
+				return nil, fmt.Errorf("aggregate %s: %w", sp.str, err)
+			}
+			grp.states[si].add(v, sp.agg.Distinct)
+		}
+		if ex.CaptureLineage {
+			grp.lineage = mergeLineage(grp.lineage, in.Lin[i])
+		}
+	}
+
+	// A global aggregate (no GROUP BY) over zero rows still yields one row;
+	// its nil representative makes every column NULL.
+	if len(order) == 0 && nk == 0 {
+		newGroup(0, nil)
+	}
+
+	out := relation.New("", b.a.Schema())
+	out.Rows = make([]relation.Tuple, 0, len(order))
+	var lin []Lineage
+	aggs := make([]relation.Value, len(prog.specs))
+	env.Aggs = aggs
+	var arena valueArena
+	arena.expect(len(order) * len(prog.items))
+	for _, grp := range order {
+		env.Row = grp.rep
+		for si := range prog.specs {
+			sp := &prog.specs[si]
+			aggs[si] = grp.states[si].result(sp.agg.Name, grp.rows, sp.agg.Arg == nil)
+		}
+		if prog.having != nil {
+			hv, err := prog.having(env)
+			if err != nil {
+				return nil, fmt.Errorf("having: %w", err)
+			}
+			if hv.IsNull() || !hv.Truthy() {
+				continue
+			}
+		}
+		t := arena.alloc(len(prog.items))
+		for c, it := range prog.items {
+			v, err := it(env)
+			if err != nil {
+				return nil, fmt.Errorf("aggregate output %s: %w", prog.itemStr[c], err)
+			}
+			t[c] = v
+		}
+		out.Rows = append(out.Rows, t)
+		if ex.CaptureLineage {
+			lin = append(lin, grp.lineage)
+		}
+	}
+	return &Result{Rel: out, Lin: lin}, nil
+}
+
+// --- sort / limit / distinct / set ops ---
+
+type bSort struct {
+	child  bnode
+	s      *plan.Sort
+	keys   []bexpr
+	static []expr.Compiled // set when every key compiled at prepare time
+}
+
+func (b *bSort) run(ex *Executor) (*Result, error) {
+	in, err := b.child.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	fns := b.static
+	if fns == nil {
+		fns = make([]expr.Compiled, len(b.keys))
+		for i := range b.keys {
+			fns[i], err = b.keys[i].get(ex)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	type sortRow struct {
+		row  relation.Tuple
+		lin  Lineage
+		keys relation.Tuple
+	}
+	rows := make([]sortRow, len(in.Rel.Rows))
+	env := &expr.Env{}
+	var keyArena valueArena
+	keyArena.expect(len(in.Rel.Rows) * len(fns))
+	for i, row := range in.Rel.Rows {
+		env.Row = row
+		kt := keyArena.alloc(len(fns))
+		for ki, fn := range fns {
+			v, err := fn(env)
+			if err != nil {
+				return nil, fmt.Errorf("order by %s: %w", b.keys[ki].String(), err)
+			}
+			kt[ki] = v
+		}
+		rows[i] = sortRow{row: row, keys: kt}
+		if ex.CaptureLineage {
+			rows[i].lin = in.Lin[i]
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for ki := range fns {
+			c := rows[i].keys[ki].Compare(rows[j].keys[ki])
+			if b.s.Keys[ki].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	out := relation.New(in.Rel.Name, in.Rel.Schema)
+	out.Rows = make([]relation.Tuple, 0, len(rows))
+	var lin []Lineage
+	if ex.CaptureLineage {
+		lin = make([]Lineage, 0, len(rows))
+	}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, r.row)
+		if ex.CaptureLineage {
+			lin = append(lin, r.lin)
+		}
+	}
+	return &Result{Rel: out, Lin: lin}, nil
+}
+
+type bLimit struct {
+	child bnode
+	n     int
+}
+
+func (b *bLimit) run(ex *Executor) (*Result, error) {
+	in, err := b.child.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	n := b.n
+	if n > len(in.Rel.Rows) {
+		n = len(in.Rel.Rows)
+	}
+	out := relation.New(in.Rel.Name, in.Rel.Schema)
+	out.Rows = in.Rel.Rows[:n]
+	res := &Result{Rel: out}
+	if ex.CaptureLineage {
+		res.Lin = in.Lin[:n]
+	}
+	return res, nil
+}
+
+type bDistinct struct {
+	child bnode
+}
+
+func (b *bDistinct) run(ex *Executor) (*Result, error) {
+	in, err := b.child.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(in.Rel.Name, in.Rel.Schema)
+	out.Rows = make([]relation.Tuple, 0, len(in.Rel.Rows))
+	var lin []Lineage
+	table := newTupleTable(len(in.Rel.Rows))
+	for i, row := range in.Rel.Rows {
+		at, dup := table.getOrInsert(row)
+		if dup {
+			if ex.CaptureLineage {
+				lin[at] = mergeLineage(lin[at], in.Lin[i])
+			}
+			continue
+		}
+		out.Rows = append(out.Rows, row)
+		if ex.CaptureLineage {
+			lin = append(lin, in.Lin[i])
+		}
+	}
+	return &Result{Rel: out, Lin: lin}, nil
+}
+
+type bSetOp struct {
+	l, r bnode
+	kind plan.SetKind
+	all  bool
+}
+
+func (b *bSetOp) run(ex *Executor) (*Result, error) {
+	l, err := b.l.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.r.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	if l.Rel.Schema.Len() != r.Rel.Schema.Len() {
+		return nil, fmt.Errorf("set operands are not union compatible")
+	}
+	out := relation.New("", l.Rel.Schema)
+	var lin []Lineage
+	switch b.kind {
+	case plan.SetUnion:
+		if b.all {
+			out.Rows = make([]relation.Tuple, 0, len(l.Rel.Rows)+len(r.Rel.Rows))
+			out.Rows = append(append(out.Rows, l.Rel.Rows...), r.Rel.Rows...)
+			if ex.CaptureLineage {
+				lin = append(append([]Lineage{}, l.Lin...), r.Lin...)
+			}
+			return &Result{Rel: out, Lin: lin}, nil
+		}
+		out.Rows = make([]relation.Tuple, 0, len(l.Rel.Rows)+len(r.Rel.Rows))
+		table := newTupleTable(len(l.Rel.Rows) + len(r.Rel.Rows))
+		add := func(rows []relation.Tuple, lins []Lineage) {
+			for i, row := range rows {
+				at, dup := table.getOrInsert(row)
+				if dup {
+					if ex.CaptureLineage {
+						lin[at] = mergeLineage(lin[at], lins[i])
+					}
+					continue
+				}
+				out.Rows = append(out.Rows, row)
+				if ex.CaptureLineage {
+					lin = append(lin, lins[i])
+				}
+			}
+		}
+		add(l.Rel.Rows, l.Lin)
+		add(r.Rel.Rows, r.Lin)
+	case plan.SetMinus: // set semantics, as SQL EXCEPT
+		right := newTupleTable(len(r.Rel.Rows))
+		for _, row := range r.Rel.Rows {
+			right.getOrInsert(row)
+		}
+		out.Rows = make([]relation.Tuple, 0, len(l.Rel.Rows))
+		seen := newTupleTable(len(l.Rel.Rows))
+		for i, row := range l.Rel.Rows {
+			if _, drop := right.lookup(row); drop {
+				continue
+			}
+			at, dup := seen.getOrInsert(row)
+			if dup {
+				if ex.CaptureLineage {
+					lin[at] = mergeLineage(lin[at], l.Lin[i])
+				}
+				continue
+			}
+			out.Rows = append(out.Rows, row)
+			if ex.CaptureLineage {
+				lin = append(lin, l.Lin[i])
+			}
+		}
+	default: // intersect (set semantics)
+		right := newTupleTable(len(r.Rel.Rows))
+		for _, row := range r.Rel.Rows {
+			right.getOrInsert(row)
+		}
+		out.Rows = make([]relation.Tuple, 0, len(l.Rel.Rows))
+		seen := newTupleTable(len(l.Rel.Rows))
+		for i, row := range l.Rel.Rows {
+			if _, keep := right.lookup(row); !keep {
+				continue
+			}
+			at, dup := seen.getOrInsert(row)
+			if dup {
+				if ex.CaptureLineage {
+					lin[at] = mergeLineage(lin[at], l.Lin[i])
+				}
+				continue
+			}
+			out.Rows = append(out.Rows, row)
+			if ex.CaptureLineage {
+				lin = append(lin, l.Lin[i])
+			}
+		}
+	}
+	return &Result{Rel: out, Lin: lin}, nil
+}

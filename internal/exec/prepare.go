@@ -1,0 +1,358 @@
+package exec
+
+// Plan binding. Prepare walks a logical plan once and produces a tree of
+// bound operators whose expressions are compiled against the operators'
+// static input schemas (plan.Node.Schema). Expressions free of subqueries
+// and unresolved IN sources — the interaction hot path — compile exactly
+// once, at prepare time; the rest are re-resolved against the live catalog
+// and bound at the start of each execution (still once per execution, never
+// per row).
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// Prepared is a plan compiled against its input schemas, ready to run many
+// times. It holds per-operator scratch buffers, so a Prepared must not be
+// executed concurrently with itself.
+type Prepared struct {
+	root bnode
+	src  plan.Node
+}
+
+// Plan returns the underlying logical plan (EXPLAIN-style output).
+func (p *Prepared) Plan() plan.Node { return p.src }
+
+// bnode is one bound operator.
+type bnode interface {
+	run(ex *Executor) (*Result, error)
+}
+
+// Prepare binds a logical plan for repeated execution. Binding never
+// consults relation contents, only schemas, so a Prepared stays valid as
+// data changes; it is invalidated only when a referenced schema changes
+// (view redefinition — the engine handles that).
+func Prepare(n plan.Node, funcs *expr.Registry) (*Prepared, error) {
+	root, err := prep(n, funcs)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{root: root, src: n}, nil
+}
+
+func prep(n plan.Node, funcs *expr.Registry) (bnode, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return &bScan{s: t}, nil
+	case *plan.Filter:
+		child, err := prep(t.Child, funcs)
+		if err != nil {
+			return nil, err
+		}
+		return &bFilter{
+			child: child,
+			pred:  bindExpr(t.Pred, t.Child.Schema(), funcs),
+		}, nil
+	case *plan.Project:
+		return prepProject(t, t.Schema(), funcs)
+	case *plan.Join:
+		return prepJoin(t, funcs)
+	case *plan.Aggregate:
+		return prepAggregate(t, funcs)
+	case *plan.Sort:
+		child, err := prep(t.Child, funcs)
+		if err != nil {
+			return nil, err
+		}
+		b := &bSort{child: child, s: t}
+		for _, k := range t.Keys {
+			b.keys = append(b.keys, bindExpr(k.Expr, t.Child.Schema(), funcs))
+		}
+		b.static = staticFns(b.keys)
+		return b, nil
+	case *plan.Limit:
+		child, err := prep(t.Child, funcs)
+		if err != nil {
+			return nil, err
+		}
+		return &bLimit{child: child, n: t.N}, nil
+	case *plan.Distinct:
+		child, err := prep(t.Child, funcs)
+		if err != nil {
+			return nil, err
+		}
+		return &bDistinct{child: child}, nil
+	case *plan.SetOp:
+		l, err := prep(t.L, funcs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := prep(t.R, funcs)
+		if err != nil {
+			return nil, err
+		}
+		return &bSetOp{l: l, r: r, kind: t.Kind, all: t.All}, nil
+	default:
+		// aliasProject and future wrappers expose Project behaviour via the
+		// generic interfaces; the wrapper's (qualified) schema is the output.
+		if pr, ok := asProject(n); ok {
+			return prepProject(pr, n.Schema(), funcs)
+		}
+		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+	}
+}
+
+// asProject extracts an embedded Project from wrapper nodes.
+func asProject(n plan.Node) (*plan.Project, bool) {
+	type projector interface{ AsProject() *plan.Project }
+	if p, ok := n.(projector); ok {
+		return p.AsProject(), true
+	}
+	return nil, false
+}
+
+// bexpr is one bound expression. fn is non-nil when the expression compiled
+// statically at prepare time; otherwise raw is re-resolved against the live
+// catalog and bound once per execution via get.
+type bexpr struct {
+	raw    expr.Expr
+	schema relation.Schema
+	fn     expr.Compiled
+}
+
+// bindExpr compiles e against the schema, deferring to execution time when
+// the expression needs subquery/IN resolution first. A nil e stays nil.
+func bindExpr(e expr.Expr, schema relation.Schema, funcs *expr.Registry) bexpr {
+	be := bexpr{raw: e, schema: schema}
+	if e != nil && !expr.NeedsResolution(e) {
+		be.fn = expr.Bind(e, &expr.BindContext{Schema: schema, Funcs: funcs})
+	}
+	return be
+}
+
+// get returns the evaluator for this execution: the statically compiled one,
+// or a fresh bind of the runtime-resolved expression. Nil for a nil raw.
+func (be *bexpr) get(ex *Executor) (expr.Compiled, error) {
+	if be.fn != nil || be.raw == nil {
+		return be.fn, nil
+	}
+	resolved, err := ex.resolveExpr(be.raw)
+	if err != nil {
+		return nil, err
+	}
+	return expr.Bind(resolved, &expr.BindContext{Schema: be.schema, Funcs: ex.Funcs}), nil
+}
+
+// String renders the bound expression for error messages.
+func (be *bexpr) String() string {
+	if be.raw == nil {
+		return "<nil>"
+	}
+	return be.raw.String()
+}
+
+func prepProject(p *plan.Project, outSchema relation.Schema, funcs *expr.Registry) (bnode, error) {
+	child, err := prep(p.Child, funcs)
+	if err != nil {
+		return nil, err
+	}
+	b := &bProject{child: child, outSchema: outSchema}
+	for _, it := range p.Items {
+		b.items = append(b.items, bindExpr(it.Expr, p.Child.Schema(), funcs))
+	}
+	b.static = staticFns(b.items)
+	return b, nil
+}
+
+// staticFns returns the compiled evaluators when every bexpr bound at
+// prepare time, nil if any needs per-execution resolution.
+func staticFns(items []bexpr) []expr.Compiled {
+	fns := make([]expr.Compiled, len(items))
+	for i := range items {
+		if items[i].fn == nil {
+			return nil
+		}
+		fns[i] = items[i].fn
+	}
+	return fns
+}
+
+func prepJoin(j *plan.Join, funcs *expr.Registry) (bnode, error) {
+	l, err := prep(j.L, funcs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := prep(j.R, funcs)
+	if err != nil {
+		return nil, err
+	}
+	lSch, rSch := j.L.Schema(), j.R.Schema()
+	outSch := lSch.Concat(rSch)
+	// Key conjuncts never need subquery/IN resolution (bindsIn sends those
+	// to the residual), so splitting the raw predicate here and compiling
+	// keys eagerly is safe; the residual re-resolves per execution when it
+	// must.
+	leftKeys, rightKeys, residual := splitEquiJoin(j.Pred, lSch, rSch)
+	b := &bJoin{
+		l: l, r: r,
+		outSchema: outSch,
+		lw:        lSch.Len(),
+		rw:        rSch.Len(),
+		lkRaw:     leftKeys,
+		rkRaw:     rightKeys,
+		residual:  bindExpr(residual, outSch, funcs),
+	}
+	lbc := &expr.BindContext{Schema: lSch, Funcs: funcs}
+	rbc := &expr.BindContext{Schema: rSch, Funcs: funcs}
+	for i := range leftKeys {
+		b.lks = append(b.lks, expr.Bind(leftKeys[i], lbc))
+		b.rks = append(b.rks, expr.Bind(rightKeys[i], rbc))
+	}
+	return b, nil
+}
+
+// splitEquiJoin extracts hash-joinable equality conjuncts col(L)=col(R) from
+// the predicate; the rest is returned as a residual filter.
+func splitEquiJoin(pred expr.Expr, ls, rs relation.Schema) (leftKeys, rightKeys []expr.Expr, residual expr.Expr) {
+	if pred == nil {
+		return nil, nil, nil
+	}
+	var rest []expr.Expr
+	for _, c := range expr.Conjuncts(pred) {
+		b, ok := c.(*expr.Binary)
+		if !ok || b.Op != expr.OpEq {
+			rest = append(rest, c)
+			continue
+		}
+		switch {
+		case bindsIn(b.L, ls) && bindsIn(b.R, rs):
+			leftKeys = append(leftKeys, b.L)
+			rightKeys = append(rightKeys, b.R)
+		case bindsIn(b.R, ls) && bindsIn(b.L, rs):
+			leftKeys = append(leftKeys, b.R)
+			rightKeys = append(rightKeys, b.L)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	return leftKeys, rightKeys, expr.AndAll(rest)
+}
+
+// bindsIn reports whether every column in e resolves within s and e contains
+// no subqueries, aggregates, or unresolved IN sources. Unresolved IN sources
+// must land in the residual (resolved and bound per execution): the key side
+// is compiled at prepare time, before resolution can happen.
+func bindsIn(e expr.Expr, s relation.Schema) bool {
+	ok := true
+	hasCol := false
+	expr.Walk(e, func(x expr.Expr) bool {
+		switch c := x.(type) {
+		case *expr.Column:
+			hasCol = true
+			if _, err := s.IndexErr(c.Qualifier, c.Name); err != nil {
+				ok = false
+				return false
+			}
+		case *expr.In:
+			if _, resolved := c.Source.(*expr.SetSource); !resolved {
+				ok = false
+				return false
+			}
+		case *expr.Subquery, *expr.Agg:
+			ok = false
+			return false
+		}
+		return ok
+	})
+	return ok && hasCol
+}
+
+func prepAggregate(a *plan.Aggregate, funcs *expr.Registry) (bnode, error) {
+	child, err := prep(a.Child, funcs)
+	if err != nil {
+		return nil, err
+	}
+	b := &bAggregate{child: child, a: a, inSchema: a.Child.Schema()}
+	static := true
+	for _, g := range a.GroupBy {
+		if expr.NeedsResolution(g) {
+			static = false
+		}
+	}
+	for _, it := range a.Items {
+		if expr.NeedsResolution(it.Expr) {
+			static = false
+		}
+	}
+	if a.Having != nil && expr.NeedsResolution(a.Having) {
+		static = false
+	}
+	if static {
+		b.static = compileAgg(a.GroupBy, a.Items, a.Having, b.inSchema, funcs)
+	}
+	return b, nil
+}
+
+// baggSpec is one distinct aggregate call within an Aggregate node, with its
+// argument compiled (nil for count(*)).
+type baggSpec struct {
+	agg *expr.Agg
+	arg expr.Compiled
+	str string
+}
+
+// aggProgram is a fully bound aggregation: group keys, aggregate argument
+// evaluators, and output/having evaluators that read per-group aggregate
+// results from Env.Aggs slots.
+type aggProgram struct {
+	groupBy  []expr.Compiled
+	groupStr []string
+	specs    []baggSpec
+	items    []expr.Compiled
+	itemStr  []string
+	having   expr.Compiled
+}
+
+// compileAgg lays out an aggregation program against already-resolved
+// expressions: distinct aggregate calls (by rendered form) get result slots,
+// and outputs/HAVING compile with an AggSlot resolver that reads them.
+func compileAgg(groupBy []expr.Expr, items []plan.ProjItem, having expr.Expr, schema relation.Schema, funcs *expr.Registry) *aggProgram {
+	prog := &aggProgram{}
+	rowBC := &expr.BindContext{Schema: schema, Funcs: funcs}
+	for _, g := range groupBy {
+		prog.groupBy = append(prog.groupBy, expr.Bind(g, rowBC))
+		prog.groupStr = append(prog.groupStr, g.String())
+	}
+	specIdx := map[string]int{}
+	collect := func(e expr.Expr) {
+		for _, ag := range expr.Aggregates(e) {
+			k := ag.String()
+			if _, ok := specIdx[k]; !ok {
+				specIdx[k] = len(prog.specs)
+				var arg expr.Compiled
+				if ag.Arg != nil {
+					arg = expr.Bind(ag.Arg, rowBC)
+				}
+				prog.specs = append(prog.specs, baggSpec{agg: ag, arg: arg, str: k})
+			}
+		}
+	}
+	for _, it := range items {
+		collect(it.Expr)
+	}
+	collect(having)
+	groupBC := &expr.BindContext{Schema: schema, Funcs: funcs, AggSlot: func(ag *expr.Agg) (int, bool) {
+		i, ok := specIdx[ag.String()]
+		return i, ok
+	}}
+	for _, it := range items {
+		prog.items = append(prog.items, expr.Bind(it.Expr, groupBC))
+		prog.itemStr = append(prog.itemStr, it.Expr.String())
+	}
+	prog.having = expr.Bind(having, groupBC)
+	return prog
+}

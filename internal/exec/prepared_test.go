@@ -1,0 +1,220 @@
+package exec
+
+// Tests for the compile-once/run-many executor: bound plans must survive
+// data changes, match fresh plan+run results exactly, and the hash pipeline
+// must agree with the string-key semantics it replaced.
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// prepareSQL builds, optimizes, and prepares a query against the catalog.
+func prepareSQL(t *testing.T, cat memCatalog, sql string) (*Executor, *Prepared) {
+	t.Helper()
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	ex := New(cat)
+	p, err := plan.Build(q, cat)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql, err)
+	}
+	p = plan.Optimize(p, ex.Funcs)
+	prep, err := Prepare(p, ex.Funcs)
+	if err != nil {
+		t.Fatalf("prepare %q: %v", sql, err)
+	}
+	return ex, prep
+}
+
+// parityQueries exercises every operator the prepared path rewrote: filter,
+// project, hash join with residual, aggregation with HAVING, distinct, set
+// operations, sorting, IN sources, and scalar subqueries.
+var parityQueries = []string{
+	"SELECT productId, revenue * 2 AS dbl FROM Sales WHERE revenue >= 100",
+	"SELECT region, sum(revenue) AS total, count(*) AS n FROM Sales GROUP BY region",
+	"SELECT region, sum(revenue) AS total FROM Sales GROUP BY region HAVING sum(revenue) > 100",
+	"SELECT s.productId, r.country FROM Sales AS s, Regions AS r WHERE s.region = r.name AND s.profit > 0",
+	"SELECT DISTINCT region FROM Sales",
+	"SELECT region FROM Sales UNION SELECT name FROM Regions",
+	"SELECT region FROM Sales INTERSECT SELECT name FROM USRegions",
+	"SELECT region FROM Sales MINUS SELECT name FROM USRegions",
+	"SELECT productId FROM Sales WHERE region IN USRegions",
+	"SELECT productId FROM Sales WHERE revenue > (SELECT min(revenue) FROM Sales) ORDER BY productId DESC LIMIT 3",
+	"SELECT count(*) AS n FROM Sales WHERE revenue > 1000000",
+	"SELECT max(profit) AS m FROM Sales WHERE profit < -100",
+}
+
+// TestPreparedMatchesFreshRun checks each parity query returns identical
+// results through a reused Prepared and through a fresh RunQuery.
+func TestPreparedMatchesFreshRun(t *testing.T) {
+	for _, sql := range parityQueries {
+		cat := salesCatalog()
+		ex, prep := prepareSQL(t, cat, sql)
+		got, err := ex.RunPrepared(prep)
+		if err != nil {
+			t.Fatalf("prepared %q: %v", sql, err)
+		}
+		want := runSQL(t, cat, sql)
+		g := StripQualifiers(got.Rel).Clone()
+		g.SortDeterministic()
+		w := want.Clone()
+		w.SortDeterministic()
+		if !relation.Equal(g, w) {
+			t.Fatalf("query %q: prepared result differs\nprepared:\n%s\nfresh:\n%s", sql, g, w)
+		}
+	}
+}
+
+// TestPreparedReusedAcrossDataChanges mutates the catalog between runs of
+// the same Prepared — the engine's recompute loop shape — and checks results
+// track the data, matching a fresh plan each time.
+func TestPreparedReusedAcrossDataChanges(t *testing.T) {
+	cat := salesCatalog()
+	sql := "SELECT region, sum(revenue) AS total FROM Sales GROUP BY region"
+	ex, prep := prepareSQL(t, cat, sql)
+
+	for round := 0; round < 4; round++ {
+		got, err := ex.RunPrepared(prep)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want := runSQL(t, cat, sql)
+		g := StripQualifiers(got.Rel).Clone()
+		g.SortDeterministic()
+		w := want.Clone()
+		w.SortDeterministic()
+		if !relation.Equal(g, w) {
+			t.Fatalf("round %d: prepared diverged from fresh run\nprepared:\n%s\nfresh:\n%s", round, g, w)
+		}
+		// Mutate: add a row to Sales (new region every other round).
+		region := "east"
+		if round%2 == 1 {
+			region = "south"
+		}
+		cat["sales"].MustAppend(relation.Tuple{
+			relation.Int(int64(100 + round)), relation.String(region),
+			relation.Float(float64(10 * (round + 1))), relation.Float(1),
+		})
+	}
+}
+
+// TestPreparedLineageParity runs a prepared plan with lineage capture and
+// checks the lineage index matches a fresh lineage-capturing run.
+func TestPreparedLineageParity(t *testing.T) {
+	cat := salesCatalog()
+	sql := "SELECT region, sum(revenue) AS total FROM Sales WHERE profit > 0 GROUP BY region"
+	ex, prep := prepareSQL(t, cat, sql)
+	ex.CaptureLineage = true
+	got, err := ex.RunPrepared(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(cat)
+	fresh.CaptureLineage = true
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.RunQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Lin) != len(want.Lin) || len(got.Lin) != got.Rel.Len() {
+		t.Fatalf("lineage length mismatch: prepared %d, fresh %d, rows %d", len(got.Lin), len(want.Lin), got.Rel.Len())
+	}
+	// Same row order (group first-seen order is deterministic), so lineage
+	// rows must align exactly.
+	for i := range got.Lin {
+		if len(got.Lin[i]) != len(want.Lin[i]) {
+			t.Fatalf("row %d lineage differs: %v vs %v", i, got.Lin[i], want.Lin[i])
+		}
+		for rel, idx := range got.Lin[i] {
+			widx := want.Lin[i][rel]
+			if len(idx) != len(widx) {
+				t.Fatalf("row %d lineage for %s differs: %v vs %v", i, rel, idx, widx)
+			}
+			for j := range idx {
+				if idx[j] != widx[j] {
+					t.Fatalf("row %d lineage for %s differs: %v vs %v", i, rel, idx, widx)
+				}
+			}
+		}
+	}
+}
+
+// TestNullJoinKeysNeverMatch pins SQL join-key NULL semantics through the
+// hash pipeline.
+func TestNullJoinKeysNeverMatch(t *testing.T) {
+	a := relation.New("A", relation.NewSchema(relation.Col("k", relation.KindInt)))
+	a.MustAppend(relation.Tuple{relation.Int(1)})
+	a.MustAppend(relation.Tuple{relation.Null()})
+	b := relation.New("B", relation.NewSchema(relation.Col("k", relation.KindInt)))
+	b.MustAppend(relation.Tuple{relation.Int(1)})
+	b.MustAppend(relation.Tuple{relation.Null()})
+	cat := memCatalog{"a": a, "b": b}
+	rel := runSQL(t, cat, "SELECT a.k FROM A AS a, B AS b WHERE a.k = b.k")
+	if rel.Len() != 1 {
+		t.Fatalf("NULL keys matched: got %d rows\n%s", rel.Len(), rel)
+	}
+}
+
+// TestCrossKindKeysCollideAsSQL checks Int/Float key normalization through
+// the hash join (Int(3) must join Float(3.0)) while strings stay distinct.
+func TestCrossKindKeysCollideAsSQL(t *testing.T) {
+	a := relation.New("A", relation.NewSchema(relation.Col("k", relation.KindInt)))
+	a.MustAppend(relation.Tuple{relation.Int(3)})
+	b := relation.New("B", relation.NewSchema(relation.Col("k", relation.KindFloat)))
+	b.MustAppend(relation.Tuple{relation.Float(3.0)})
+	b.MustAppend(relation.Tuple{relation.String("3")})
+	cat := memCatalog{"a": a, "b": b}
+	rel := runSQL(t, cat, "SELECT a.k FROM A AS a, B AS b WHERE a.k = b.k")
+	if rel.Len() != 1 {
+		t.Fatalf("cross-kind equi-join: got %d rows, want 1\n%s", rel.Len(), rel)
+	}
+}
+
+// TestInPredicateInsideJoinConjunct: an equality conjunct whose side
+// contains an unresolved IN source must not be treated as a hash-join key —
+// it needs per-execution resolution, so it belongs in the residual.
+// Regression test: the prepare-time split once classified it as a key and
+// every execution failed with "IN source not resolved".
+func TestInPredicateInsideJoinConjunct(t *testing.T) {
+	a := relation.New("A", relation.NewSchema(relation.Col("x", relation.KindString)))
+	a.MustAppend(relation.Tuple{relation.String("east")})
+	a.MustAppend(relation.Tuple{relation.String("north")})
+	b := relation.New("B", relation.NewSchema(relation.Col("flag", relation.KindBool)))
+	b.MustAppend(relation.Tuple{relation.Bool(true)})
+	us := relation.New("S", relation.NewSchema(relation.Col("name", relation.KindString)))
+	us.MustAppend(relation.Tuple{relation.String("east")})
+	cat := memCatalog{"a": a, "b": b, "s": us}
+	rel := runSQL(t, cat, "SELECT a.x FROM A AS a, B AS b WHERE (a.x IN S) = b.flag")
+	if rel.Len() != 1 || rel.Rows[0][0].AsString() != "east" {
+		t.Fatalf("IN-in-join-conjunct: want one row 'east', got\n%s", rel)
+	}
+}
+
+// TestPreparedEmptyInputDefersErrors: an unknown column in a predicate must
+// not error while the input is empty — binding defers unresolvable
+// references to row evaluation, like the interpreter did.
+func TestPreparedEmptyInputDefersErrors(t *testing.T) {
+	empty := relation.New("E", relation.NewSchema(relation.Col("x", relation.KindInt)))
+	cat := memCatalog{"e": empty}
+	rel := runSQL(t, cat, "SELECT x FROM E WHERE ghost > 1")
+	if rel.Len() != 0 {
+		t.Fatalf("expected empty result, got %d rows", rel.Len())
+	}
+	empty.MustAppend(relation.Tuple{relation.Int(1)})
+	q, err := parser.ParseQuery("SELECT x FROM E WHERE ghost > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cat).RunQuery(q); err == nil {
+		t.Fatal("unknown column over non-empty input should error")
+	}
+}

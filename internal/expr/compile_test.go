@@ -1,0 +1,288 @@
+package expr
+
+// Parity tests: the Bind-compiled evaluators must return identical values —
+// including NULL propagation and errors — to the tree-walking Eval across an
+// enumerated expression corpus. Eval is the semantic oracle; any divergence
+// is a compiler bug.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// paritySchema is the row shape the corpus evaluates against.
+func paritySchema() relation.Schema {
+	return relation.NewSchema(
+		relation.Col("i", relation.KindInt),
+		relation.Col("f", relation.KindFloat),
+		relation.Col("s", relation.KindString),
+		relation.Col("b", relation.KindBool),
+		relation.Col("n", relation.KindNull),
+	)
+}
+
+// parityRows covers every kind, zeros (division/modulo by zero), negatives,
+// and NULLs in each position.
+func parityRows() []relation.Tuple {
+	return []relation.Tuple{
+		{relation.Int(3), relation.Float(1.5), relation.String("abc"), relation.Bool(true), relation.Null()},
+		{relation.Int(-7), relation.Float(-0.25), relation.String(""), relation.Bool(false), relation.Null()},
+		{relation.Int(0), relation.Float(0), relation.String("3"), relation.Bool(true), relation.Null()},
+		{relation.Null(), relation.Null(), relation.Null(), relation.Null(), relation.Null()},
+		{relation.Int(1 << 40), relation.Float(3.0), relation.String("ABC"), relation.Bool(false), relation.Null()},
+	}
+}
+
+// posEnv adapts a (schema, tuple) pair to RowEnv exactly like the executor's
+// old row environment did — the interpreted half of every parity check.
+type posEnv struct {
+	schema relation.Schema
+	row    relation.Tuple
+}
+
+func (e *posEnv) Lookup(q, n string) (relation.Value, bool) {
+	idx := e.schema.Index(q, n)
+	if idx < 0 || idx >= len(e.row) {
+		return relation.Null(), false
+	}
+	return e.row[idx], true
+}
+
+// corpus enumerates expressions: every binary operator over mixed-kind
+// operands, unary ops, IS NULL, CASE, IN (with and without NULL in the set),
+// calls (known, unknown, arity errors), aggregates in illegal positions, and
+// unresolved subqueries.
+func corpus() []Expr {
+	col := func(n string) Expr { return &Column{Name: n} }
+	lit := func(v relation.Value) Expr { return Literal(v) }
+	operands := []Expr{
+		col("i"), col("f"), col("s"), col("b"), col("n"),
+		lit(relation.Int(2)), lit(relation.Float(0.5)), lit(relation.String("abc")),
+		lit(relation.Bool(false)), lit(relation.Null()), lit(relation.Int(0)),
+		&Column{Name: "missing"},           // unknown column
+		&Column{Qualifier: "t", Name: "i"}, // wrong qualifier
+	}
+	var out []Expr
+	for op := OpOr; op <= OpConcat; op++ {
+		for _, l := range operands {
+			for _, r := range operands {
+				out = append(out, &Binary{Op: op, L: l, R: r})
+			}
+		}
+	}
+	for _, x := range operands {
+		out = append(out,
+			&Unary{Op: OpNeg, X: x},
+			&Unary{Op: OpNot, X: x},
+			&IsNull{X: x},
+			&IsNull{X: x, Negate: true},
+		)
+	}
+	set := NewValueSet(relation.Int(3), relation.String("abc"), relation.Float(1.5))
+	nullSet := NewValueSet(relation.Int(3), relation.Null())
+	for _, x := range operands {
+		out = append(out,
+			&In{X: x, Source: &SetSource{Set: set}},
+			&In{X: x, Source: &SetSource{Set: nullSet}, Negate: true},
+			&In{X: x, Source: &RelationSource{Name: "R"}}, // unresolved
+		)
+	}
+	out = append(out,
+		&Case{Whens: []When{{Cond: &Binary{Op: OpGt, L: col("i"), R: lit(relation.Int(0))}, Result: col("s")}}},
+		&Case{
+			Whens: []When{
+				{Cond: col("n"), Result: lit(relation.String("null-cond"))},
+				{Cond: col("b"), Result: col("f")},
+			},
+			Else: &Unary{Op: OpNeg, X: col("i")},
+		},
+		&Call{Name: "abs", Args: []Expr{col("f")}},
+		&Call{Name: "upper", Args: []Expr{col("s")}},
+		&Call{Name: "substr", Args: []Expr{col("s"), lit(relation.Int(2))}},
+		&Call{Name: "coalesce", Args: []Expr{col("n"), col("i")}},
+		&Call{Name: "iif", Args: []Expr{col("b"), col("s"), col("i")}},
+		&Call{Name: "nosuchfn", Args: []Expr{col("i")}},
+		&Call{Name: "abs", Args: []Expr{col("i"), col("f")}}, // arity error
+		&Agg{Name: "sum", Arg: col("i")},                     // illegal position
+		&Subquery{},                                          // unresolved
+		// nested: (i + f) * 2 >= abs(i - 10) AND s != ''
+		&Binary{Op: OpAnd,
+			L: &Binary{Op: OpGe,
+				L: &Binary{Op: OpMul, L: &Binary{Op: OpAdd, L: col("i"), R: col("f")}, R: lit(relation.Int(2))},
+				R: &Call{Name: "abs", Args: []Expr{&Binary{Op: OpSub, L: col("i"), R: lit(relation.Int(10))}}},
+			},
+			R: &Binary{Op: OpNe, L: col("s"), R: lit(relation.String(""))},
+		},
+		// division and modulo by zero through columns
+		&Binary{Op: OpDiv, L: col("f"), R: &Column{Name: "i"}},
+		&Binary{Op: OpMod, L: col("i"), R: &Column{Name: "i"}},
+	)
+	return out
+}
+
+// TestCompiledMatchesInterpreted asserts value-and-error parity between
+// Bind-compiled evaluation and the tree-walking oracle for every corpus
+// expression over every parity row.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	schema := paritySchema()
+	funcs := NewRegistry()
+	bc := &BindContext{Schema: schema, Funcs: funcs}
+	interpEnv := &posEnv{schema: schema}
+	ictx := &Context{Row: interpEnv, Funcs: funcs}
+	cenv := &Env{}
+	for _, e := range corpus() {
+		compiled := Bind(e, bc)
+		for ri, row := range parityRows() {
+			interpEnv.row = row
+			cenv.Row = row
+			want, wantErr := e.Eval(ictx)
+			got, gotErr := compiled(cenv)
+			if (wantErr != nil) != (gotErr != nil) {
+				t.Fatalf("expr %s row %d: interpreted err=%v, compiled err=%v", e.String(), ri, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue // both error; exact text may legitimately differ
+			}
+			if want != got {
+				t.Fatalf("expr %s row %d: interpreted=%v (%s), compiled=%v (%s)",
+					e.String(), ri, want, want.Kind(), got, got.Kind())
+			}
+		}
+	}
+}
+
+// TestCompiledThreeValuedLogic pins the full 3VL truth tables for AND/OR
+// through the compiled path against the oracle.
+func TestCompiledThreeValuedLogic(t *testing.T) {
+	vals := []relation.Value{relation.Bool(true), relation.Bool(false), relation.Null()}
+	schema := relation.NewSchema(relation.Col("l", relation.KindBool), relation.Col("r", relation.KindBool))
+	funcs := NewRegistry()
+	bc := &BindContext{Schema: schema, Funcs: funcs}
+	interpEnv := &posEnv{schema: schema}
+	ictx := &Context{Row: interpEnv, Funcs: funcs}
+	cenv := &Env{}
+	for _, op := range []BinOp{OpAnd, OpOr} {
+		e := &Binary{Op: op, L: &Column{Name: "l"}, R: &Column{Name: "r"}}
+		compiled := Bind(e, bc)
+		for _, lv := range vals {
+			for _, rv := range vals {
+				row := relation.Tuple{lv, rv}
+				interpEnv.row = row
+				cenv.Row = row
+				want, _ := e.Eval(ictx)
+				got, err := compiled(cenv)
+				if err != nil {
+					t.Fatalf("%s over (%s,%s): %v", e, lv, rv, err)
+				}
+				if want != got {
+					t.Fatalf("%s over (%s,%s): interpreted=%s compiled=%s", e, lv, rv, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledAggSlots checks that aggregates bound with an AggSlot resolver
+// read Env.Aggs, matching the executor's substitute-literal oracle.
+func TestCompiledAggSlots(t *testing.T) {
+	schema := relation.NewSchema(relation.Col("region", relation.KindString))
+	funcs := NewRegistry()
+	sum := &Agg{Name: "sum", Arg: &Column{Name: "x"}}
+	// region || ':' || (sum(x) + 1)
+	e := &Binary{Op: OpConcat,
+		L: &Binary{Op: OpConcat, L: &Column{Name: "region"}, R: Literal(relation.String(":"))},
+		R: &Binary{Op: OpAdd, L: sum, R: Literal(relation.Int(1))},
+	}
+	slots := map[string]int{sum.String(): 0}
+	compiled := Bind(e, &BindContext{Schema: schema, Funcs: funcs, AggSlot: func(a *Agg) (int, bool) {
+		i, ok := slots[a.String()]
+		return i, ok
+	}})
+	env := &Env{Row: relation.Tuple{relation.String("east")}, Aggs: []relation.Value{relation.Int(41)}}
+	got, err := compiled(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: substitute the aggregate result as a literal, then Eval.
+	subst := Transform(e, func(x Expr) Expr {
+		if _, ok := x.(*Agg); ok {
+			return Literal(relation.Int(41))
+		}
+		return x
+	})
+	ienv := &posEnv{schema: schema, row: env.Row}
+	want, err := subst.Eval(&Context{Row: ienv, Funcs: funcs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Fatalf("agg slot eval: interpreted=%s compiled=%s", want, got)
+	}
+}
+
+// TestCompiledNilRowIsNull pins the group-representative semantics: with a
+// nil Env.Row every column reads as NULL (the empty global aggregate).
+func TestCompiledNilRowIsNull(t *testing.T) {
+	schema := paritySchema()
+	compiled := Bind(&IsNull{X: &Column{Name: "i"}}, &BindContext{Schema: schema, Funcs: NewRegistry()})
+	got, err := compiled(&Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := relation.Bool(true); want != got {
+		t.Fatalf("nil-row column: want %s, got %s", want, got)
+	}
+}
+
+// TestNeedsResolution classifies subquery-bearing expressions.
+func TestNeedsResolution(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{&Binary{Op: OpAdd, L: &Column{Name: "i"}, R: Literal(relation.Int(1))}, false},
+		{&Subquery{}, true},
+		{&Binary{Op: OpEq, L: &Column{Name: "i"}, R: &Subquery{}}, true},
+		{&In{X: &Column{Name: "i"}, Source: &SetSource{Set: NewValueSet()}}, false},
+		{&In{X: &Column{Name: "i"}, Source: &RelationSource{Name: "R"}}, true},
+		{&In{X: &Column{Name: "i"}, Source: &Subquery{}}, true},
+	}
+	for _, c := range cases {
+		if got := NeedsResolution(c.e); got != c.want {
+			t.Fatalf("NeedsResolution(%s) = %v, want %v", c.e.String(), got, c.want)
+		}
+	}
+}
+
+// TestBindErrorsAreDeferred ensures binding never fails eagerly: an
+// unresolvable column errors only when a row is actually evaluated, matching
+// interpreted behaviour over empty inputs.
+func TestBindErrorsAreDeferred(t *testing.T) {
+	compiled := Bind(&Column{Name: "ghost"}, &BindContext{Schema: paritySchema(), Funcs: NewRegistry()})
+	_, err := compiled(&Env{Row: parityRows()[0]})
+	if err == nil || !strings.Contains(err.Error(), "unknown column") {
+		t.Fatalf("want unknown-column error, got %v", err)
+	}
+}
+
+// Benchmark-ish sanity: the compiled evaluator must not allocate per call
+// for a column-compare predicate (the crossfilter hot path shape).
+func TestCompiledPredicateDoesNotAllocate(t *testing.T) {
+	schema := paritySchema()
+	e := &Binary{Op: OpAnd,
+		L: &Binary{Op: OpGe, L: &Column{Name: "i"}, R: Literal(relation.Int(0))},
+		R: &Binary{Op: OpLt, L: &Column{Name: "f"}, R: Literal(relation.Float(10))},
+	}
+	compiled := Bind(e, &BindContext{Schema: schema, Funcs: NewRegistry()})
+	env := &Env{Row: parityRows()[0]}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := compiled(env); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("compiled predicate allocates %.1f per eval", allocs)
+	}
+}

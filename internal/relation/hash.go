@@ -1,0 +1,100 @@
+package relation
+
+// Allocation-free tuple hashing. Tuple.Key builds a canonical string per
+// tuple — one heap allocation per row per hashing operator — so the executor
+// now hashes values directly with FNV-1a and resolves collisions with
+// Tuple.Equal chains. Hash and Equal agree with the equivalence Tuple.Key
+// induces: values are normalized through Value.Key (integral floats collapse
+// to ints) and kinds are folded into the hash so String("3") and Int(3) stay
+// distinct.
+
+import "math"
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// canonicalNaN makes every NaN payload hash identically; hashEqual treats all
+// NaNs as equal (as Tuple.Key did via the "NaN" rendering).
+var canonicalNaN = math.Float64bits(math.NaN())
+
+// hashInto folds the value into an FNV-1a state, kind first so payload bytes
+// of different kinds never collide trivially.
+func (v Value) hashInto(h uint64) uint64 {
+	k := v.Key()
+	h ^= uint64(k.kind)
+	h *= fnvPrime64
+	switch k.kind {
+	case KindNull:
+	case KindBool, KindInt:
+		x := uint64(k.i)
+		for s := uint(0); s < 64; s += 8 {
+			h ^= (x >> s) & 0xff
+			h *= fnvPrime64
+		}
+	case KindFloat:
+		bits := math.Float64bits(k.f)
+		if math.IsNaN(k.f) {
+			bits = canonicalNaN
+		}
+		for s := uint(0); s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= fnvPrime64
+		}
+	case KindString:
+		for i := 0; i < len(k.s); i++ {
+			h ^= uint64(k.s[i])
+			h *= fnvPrime64
+		}
+	}
+	return h
+}
+
+// hashEqual reports equality under the canonical hashing equivalence — the
+// same relation Tuple.Key induces. It is stricter than Compare (which orders
+// NaN equal to every number) and looser than Go equality (Int(3) matches
+// Float(3.0) after Key normalization).
+func (v Value) hashEqual(o Value) bool {
+	a, b := v.Key(), o.Key()
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindNull:
+		return true
+	case KindBool, KindInt:
+		return a.i == b.i
+	case KindFloat:
+		return a.f == b.f || (math.IsNaN(a.f) && math.IsNaN(b.f))
+	case KindString:
+		return a.s == b.s
+	default:
+		return false
+	}
+}
+
+// Hash returns an FNV-1a hash of the whole tuple without building strings.
+// Tuples equal under Equal hash identically.
+func (t Tuple) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range t {
+		h = v.hashInto(h)
+	}
+	return h
+}
+
+// Equal reports whether two tuples are the same row under the canonical
+// hashing equivalence (see Value.Key): the collision check paired with Hash
+// in the executor's join, aggregation, distinct, and set-operation tables.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].hashEqual(o[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,103 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestHashAgreesWithKey checks, over random value pairs, that Tuple.Equal
+// matches the equivalence Tuple.Key induces and that equal tuples hash
+// identically — the contract the executor's hash tables rely on.
+func TestHashAgreesWithKey(t *testing.T) {
+	mk := func(sel uint8, i int64, f float64, s string) Value {
+		switch sel % 5 {
+		case 0:
+			return Null()
+		case 1:
+			return Bool(i%2 == 0)
+		case 2:
+			return Int(i)
+		case 3:
+			return Float(f)
+		default:
+			return String(s)
+		}
+	}
+	prop := func(sa, sb uint8, ia, ib int64, fa, fb float64, stra, strb string) bool {
+		a := Tuple{mk(sa, ia, fa, stra)}
+		b := Tuple{mk(sb, ib, fb, strb)}
+		keyEq := a.Key() == b.Key()
+		if a.Equal(b) != keyEq {
+			t.Logf("Equal mismatch: %v vs %v (keyEq=%v)", a, b, keyEq)
+			return false
+		}
+		if keyEq && a.Hash() != b.Hash() {
+			t.Logf("hash mismatch for equal tuples: %v vs %v", a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashEdgeCases pins the normalization corners: integral floats collapse
+// to ints, -0 to 0, NaNs are self-equal, and kinds never cross-collide.
+func TestHashEdgeCases(t *testing.T) {
+	eq := [][2]Value{
+		{Int(3), Float(3.0)},
+		{Float(-0.0), Int(0)},
+		{Float(math.NaN()), Float(math.NaN())},
+		{Null(), Null()},
+		{String(""), String("")},
+	}
+	for _, p := range eq {
+		a, b := Tuple{p[0]}, Tuple{p[1]}
+		if !a.Equal(b) {
+			t.Fatalf("%s and %s should be hash-equal", p[0], p[1])
+		}
+		if a.Hash() != b.Hash() {
+			t.Fatalf("%s and %s should hash alike", p[0], p[1])
+		}
+	}
+	ne := [][2]Value{
+		{String("3"), Int(3)},
+		{Bool(true), Int(1)},
+		{Null(), Int(0)},
+		{Float(1.5), Float(1.25)},
+		{Float(math.NaN()), Float(5)}, // Compare orders these equal; Key does not
+		{String("a"), String("b")},
+	}
+	for _, p := range ne {
+		a, b := Tuple{p[0]}, Tuple{p[1]}
+		if a.Equal(b) {
+			t.Fatalf("%s and %s should not be hash-equal", p[0], p[1])
+		}
+	}
+	if (Tuple{Int(1), Int(2)}).Equal(Tuple{Int(1)}) {
+		t.Fatal("tuples of different arity should differ")
+	}
+}
+
+// TestTupleHashNoAllocs verifies the whole point: hashing a tuple performs
+// zero heap allocations (Tuple.Key allocated one string per call).
+func TestTupleHashNoAllocs(t *testing.T) {
+	row := Tuple{Int(42), String("east"), Float(1.25), Bool(true), Null()}
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = row.Hash()
+	})
+	if allocs > 0 {
+		t.Fatalf("Tuple.Hash allocates %.1f per call", allocs)
+	}
+	other := row.Clone()
+	allocs = testing.AllocsPerRun(1000, func() {
+		if !row.Equal(other) {
+			t.Fatal("clone should be equal")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Tuple.Equal allocates %.1f per call", allocs)
+	}
+}
