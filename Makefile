@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test bench bench-exec bench-engine
+.PHONY: check build vet test bench bench-exec bench-engine bench-ivm bench-smoke
 
 check: build vet test
 
@@ -19,7 +19,7 @@ test:
 
 # bench runs the executor microbenchmarks with allocation stats and writes
 # the experiment-series snapshot to BENCH_exec.json via cmd/dvms-bench.
-bench: bench-exec bench-engine
+bench: bench-exec bench-engine bench-ivm
 
 bench-exec:
 	$(GO) test ./internal/exec -run '^$$' -bench . -benchmem | tee BENCH_exec_micro.txt
@@ -28,3 +28,18 @@ bench-exec:
 
 bench-engine:
 	$(GO) test . -run '^$$' -bench 'BenchmarkQueryEngine|BenchmarkEndToEndInteraction|BenchmarkFig1Crossfilter' -benchmem | tee BENCH_engine_micro.txt
+
+# bench-ivm records the incremental-vs-full trajectory of the delta-driven
+# dataflow (per-event brush latency + engine counters) to BENCH_ivm.json.
+bench-ivm:
+	$(GO) test . -run '^$$' -bench 'BenchmarkIVMBrush' -benchmem | tee BENCH_ivm_micro.txt
+	$(GO) run ./cmd/dvms-bench -experiment ivm -n 100000 -format json > BENCH_ivm.json
+	@echo "wrote BENCH_ivm_micro.txt and BENCH_ivm.json"
+
+# bench-smoke is the short-form CI benchmark: proves the benchmark harness
+# runs end to end without committing CI minutes to full sizes.
+bench-smoke:
+	$(GO) run ./cmd/dvms-bench -experiment ivm -n 2000 -format json > /dev/null
+	$(GO) run ./cmd/dvms-bench -experiment a1 -n 300 -format json > /dev/null
+	$(GO) test . -run '^$$' -bench 'BenchmarkIVMBrush/n10000$$/' -benchtime 1x > /dev/null
+	@echo "benchmark smoke OK"

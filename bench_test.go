@@ -9,6 +9,7 @@ package dvms_test
 // EXPERIMENTS.md records the shape comparisons against the paper.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cc"
@@ -264,6 +265,38 @@ func BenchmarkAblationScheduler(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkIVMBrush measures crossfilter brushing through the
+// delta-propagating dataflow vs the RecomputeAll baseline (ISSUE 2's
+// end-to-end interaction benchmark). Each op is one full drag: the brush
+// opens over month 1, then extends one month (~1/12 of the data) per move
+// event across five linked charts, then releases.
+func BenchmarkIVMBrush(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		for _, full := range []bool{false, true} {
+			name := fmt.Sprintf("n%d/incremental", n)
+			if full {
+				name = fmt.Sprintf("n%d/recompute-all", n)
+			}
+			b.Run(name, func(b *testing.B) {
+				eng, err := experiments.NewIVMEngine(n, 7, core.Config{RecomputeAll: full})
+				if err != nil {
+					b.Fatal(err)
+				}
+				drag := experiments.IVMBrushStream(6) // 10 events per op
+				if _, err := eng.FeedStream(drag); err != nil {
+					b.Fatal(err) // warm-up primes the pipelines
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.FeedStream(drag); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

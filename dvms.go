@@ -43,6 +43,9 @@ type Relation = relation.Relation
 // Value is a dynamically typed scalar; UDFs consume and produce Values.
 type Value = relation.Value
 
+// Tuple is one relation row, a Value slice.
+type Tuple = relation.Tuple
+
 // Value constructors re-exported for UDF authors.
 var (
 	// Null returns the NULL value.
@@ -124,6 +127,13 @@ func (s *System) Load(program string) error { return s.eng.LoadProgram(program) 
 
 // Exec applies further DeVIL statements without committing.
 func (s *System) Exec(statements string) error { return s.eng.Exec(statements) }
+
+// InsertRows bulk-appends rows to a base table through the host API,
+// bypassing the DeVIL parser. The change flows through incremental view
+// maintenance like any INSERT: views are updated by delta where possible.
+func (s *System) InsertRows(table string, rows []Tuple) error {
+	return s.eng.InsertRows(table, rows)
+}
 
 // Feed routes events through the recognizers, maintaining views, pixels,
 // and transactions. It returns the transaction summary of the final event.

@@ -136,6 +136,9 @@ func (e *Engine) DebugReport() string {
 	fmt.Fprintf(&b, "\nstats: %d view recomputes, %d render passes, %d events (%d filtered), %d commits, %d aborts\n",
 		e.Stats.ViewRecomputes, e.Stats.RenderPasses, e.Stats.EventsFed,
 		e.Stats.EventsFiltered, e.Stats.Commits, e.Stats.Aborts)
+	fmt.Fprintf(&b, "delta: %d delta applies (%d rows in, %d rows out), %d full fallbacks, %d empty-delta skips, %d render skips\n",
+		e.Stats.ViewDeltaApplies, e.Stats.DeltaRowsIn, e.Stats.DeltaRowsOut,
+		e.Stats.FullFallbacks, e.Stats.EmptyDeltaSkips, e.Stats.RenderSkips)
 	return b.String()
 }
 

@@ -68,7 +68,14 @@ type Engine struct {
 }
 
 // Stats counts engine work, exposed for benchmarks and the experiment
-// harness.
+// harness. ViewRecomputes counts full (re)materializations; the delta
+// counters cover the incremental path: ViewDeltaApplies is the number of
+// view updates served by delta propagation, DeltaRowsIn/Out the change rows
+// consumed/produced by those applications, FullFallbacks the dirty views
+// that had to fully recompute inside a delta-driven refresh (non-safe plan,
+// unknown input delta, or delta error), EmptyDeltaSkips the dirty views
+// short-circuited because every input delta was empty, and RenderSkips the
+// refreshes that left the framebuffer untouched because no sink changed.
 type Stats struct {
 	ViewRecomputes int
 	RenderPasses   int
@@ -76,6 +83,13 @@ type Stats struct {
 	EventsFiltered int
 	Commits        int
 	Aborts         int
+
+	ViewDeltaApplies int
+	DeltaRowsIn      int
+	DeltaRowsOut     int
+	FullFallbacks    int
+	EmptyDeltaSkips  int
+	RenderSkips      int
 }
 
 // New creates an engine with the given config.
@@ -221,12 +235,43 @@ func (e *Engine) execInsert(n *parser.InsertStmt) error {
 		}
 		rows = remapped
 	}
+	if err := appendAll(target, rows); err != nil {
+		return err
+	}
+	return e.refresh(changeSet(n.Table, &relation.Delta{Ins: rows}))
+}
+
+// appendAll validates every row's arity before appending any, so a bad row
+// cannot leave the table partially mutated with no delta issued (which
+// would silently desynchronize primed delta pipelines from their inputs).
+func appendAll(target *relation.Relation, rows []relation.Tuple) error {
+	arity := target.Schema.Len()
 	for _, row := range rows {
-		if err := target.Append(row); err != nil {
-			return err
+		if len(row) != arity {
+			return fmt.Errorf("relation %s: row arity %d does not match schema arity %d", target.Name, len(row), arity)
 		}
 	}
-	return e.refresh([]string{n.Table})
+	for _, row := range rows {
+		target.Rows = append(target.Rows, row)
+	}
+	return nil
+}
+
+// InsertRows appends rows to a base table programmatically — the host-API
+// equivalent of INSERT for bulk loads and event-driven writes — producing
+// an insert delta for incremental view maintenance.
+func (e *Engine) InsertRows(table string, rows []relation.Tuple) error {
+	target, err := e.store.Get(table)
+	if err != nil {
+		return err
+	}
+	if e.isView(table) {
+		return fmt.Errorf("cannot insert into view %q", table)
+	}
+	if err := appendAll(target, rows); err != nil {
+		return err
+	}
+	return e.refresh(changeSet(table, &relation.Delta{Ins: rows}))
 }
 
 func (e *Engine) execDelete(n *parser.DeleteStmt) error {
@@ -238,12 +283,14 @@ func (e *Engine) execDelete(n *parser.DeleteStmt) error {
 		return fmt.Errorf("cannot DELETE from view %q", n.Table)
 	}
 	if n.Where == nil {
+		removed := target.Rows
 		target.Rows = nil
-		return e.refresh([]string{n.Table})
+		return e.refresh(changeSet(n.Table, &relation.Delta{Del: removed}))
 	}
 	env := &tupleEnv{schema: target.Schema}
 	ctx := &expr.Context{Row: env, Funcs: e.funcs}
 	kept := target.Rows[:0:0]
+	var removed []relation.Tuple
 	for _, row := range target.Rows {
 		env.row = row
 		v, err := n.Where.Eval(ctx)
@@ -252,10 +299,12 @@ func (e *Engine) execDelete(n *parser.DeleteStmt) error {
 		}
 		if v.IsNull() || !v.Truthy() {
 			kept = append(kept, row)
+		} else {
+			removed = append(removed, row)
 		}
 	}
 	target.Rows = kept
-	return e.refresh([]string{n.Table})
+	return e.refresh(changeSet(n.Table, &relation.Delta{Del: removed}))
 }
 
 // tupleEnv is a minimal RowEnv over an unqualified schema.
@@ -351,11 +400,18 @@ func (e *Engine) defineView(stmt *parser.AssignStmt) error {
 	// A (re)definition can change schemas other bound plans were compiled
 	// against; they rebind lazily on their next recompute.
 	e.invalidatePlans()
-	// Materialize now (full recompute of this view and its dependents).
+	// Materialize now (full recompute of this view and its dependents; the
+	// nil delta marks an unknown change, so dependents recompute too).
 	if err := e.recomputeView(v); err != nil {
 		return err
 	}
-	return e.refresh([]string{stmt.Name})
+	return e.refresh(changeSet(stmt.Name, nil))
+}
+
+// changeSet builds a one-relation change map: delta nil means the relation
+// changed in an unknown way (dependents fall back to full recomputation).
+func changeSet(name string, d *relation.Delta) map[string]*relation.Delta {
+	return map[string]*relation.Delta{strings.ToLower(name): d}
 }
 
 // executor builds an executor over the live catalog.
@@ -393,7 +449,9 @@ func (e *Engine) invalidatePlans() {
 }
 
 // recomputeView materializes one view from its definition; under eager
-// provenance it also refreshes the view's lineage index.
+// provenance it also refreshes the view's lineage index. For delta-safe
+// views (normal operation), the recompute runs through the stateful
+// pipeline so the view is primed for delta application afterwards.
 func (e *Engine) recomputeView(v *view) error {
 	e.Stats.ViewRecomputes++
 	var rel *relation.Relation
@@ -407,7 +465,11 @@ func (e *Engine) recomputeView(v *view) error {
 			ex := e.executor()
 			ex.CaptureLineage = e.cfg.EagerProvenance
 			var res *exec.Result
-			res, err = ex.RunPrepared(prep)
+			if prep.DeltaSafe() && !e.cfg.EagerProvenance && !e.cfg.RecomputeAll {
+				res, err = ex.RunStateful(prep)
+			} else {
+				res, err = ex.RunPrepared(prep)
+			}
 			if err == nil {
 				rel = exec.StripQualifiers(res.Rel)
 				if e.cfg.EagerProvenance {
@@ -424,45 +486,188 @@ func (e *Engine) recomputeView(v *view) error {
 	return nil
 }
 
-// refresh recomputes views affected by changes to the named relations, in
-// topological order, then re-renders all sinks.
-func (e *Engine) refresh(changed []string) error {
-	dirty := map[string]bool{}
-	var mark func(string)
-	mark = func(name string) {
-		for _, dep := range e.deps[strings.ToLower(name)] {
-			k := strings.ToLower(dep)
-			if !dirty[k] {
-				dirty[k] = true
-				mark(dep)
-			}
-		}
-	}
-	for _, c := range changed {
-		mark(c)
-	}
-	for _, name := range e.topo {
-		k := strings.ToLower(name)
-		if e.cfg.RecomputeAll || dirty[k] {
-			if err := e.recomputeView(e.views[k]); err != nil {
+// refresh propagates changes through the view graph in topological order,
+// then re-renders if any sink changed. changes maps lowercase relation
+// names to their deltas; a nil delta marks an unknown change. A dirty view
+// is updated by delta application when its prepared pipeline is delta-safe,
+// primed, and every changed input carries a delta; otherwise it fully
+// recomputes, and its output delta is derived by diffing old vs new
+// contents so downstream views can still consume deltas. Views whose every
+// relevant input delta is empty are skipped entirely (their contents cannot
+// have changed), except across @tnow edges, where the referenced snapshot
+// advances even when the live delta is empty.
+func (e *Engine) refresh(changes map[string]*relation.Delta) error {
+	if e.cfg.RecomputeAll {
+		// Ablation baseline and parity oracle: every view recomputes from
+		// scratch on every change, every refresh re-renders.
+		for _, name := range e.topo {
+			if err := e.recomputeView(e.views[strings.ToLower(name)]); err != nil {
 				return err
 			}
 		}
+		return e.render()
 	}
-	return e.render()
+	for _, name := range e.topo {
+		k := strings.ToLower(name)
+		v := e.views[k]
+		dirty, emptyOnly := e.dirtiness(v, changes)
+		if !dirty {
+			if emptyOnly {
+				e.Stats.EmptyDeltaSkips++
+			}
+			continue
+		}
+		if out, handled, err := e.tryDelta(v, changes); err != nil {
+			return fmt.Errorf("view %s: %w", v.name, err)
+		} else if handled {
+			changes[k] = out
+			continue
+		}
+		// Full fallback: recompute, then diff old vs new so downstream
+		// views still receive a delta (and unchanged outputs short-circuit).
+		old, err := e.store.Get(v.name)
+		if err != nil {
+			return err
+		}
+		if err := e.recomputeView(v); err != nil {
+			return err
+		}
+		e.Stats.FullFallbacks++
+		cur, err := e.store.Get(v.name)
+		if err != nil {
+			return err
+		}
+		d := relation.Diff(old, cur)
+		changes[k] = &d
+	}
+	return e.renderIfDirty(changes)
+}
+
+// dirtiness reports whether the view must update given the changes. The
+// second result reports that the view was touched only through empty deltas
+// (the short-circuit case, counted for stats).
+func (e *Engine) dirtiness(v *view, changes map[string]*relation.Delta) (dirty, emptyOnly bool) {
+	touched := false
+	for _, d := range v.deps {
+		if !d.live() {
+			continue
+		}
+		cd, ok := changes[strings.ToLower(d.name)]
+		if !ok {
+			continue
+		}
+		touched = true
+		// @tnow snapshots advance with every applied event, so any touch of
+		// the referenced relation dirties the view even with an empty delta.
+		if d.version.Kind == relation.VersionTNow {
+			return true, false
+		}
+		if cd == nil || !cd.Empty() {
+			return true, false
+		}
+	}
+	return false, touched
+}
+
+// tryDelta attempts the incremental path for a dirty view: applies the
+// changed inputs' deltas through the view's primed stateful pipeline and
+// patches the materialized relation with the output delta. handled reports
+// whether the view was updated this way (out is its output delta, which may
+// be empty). A delta-application failure is not an error: the pipeline
+// resets and the caller falls back to full recomputation.
+func (e *Engine) tryDelta(v *view, changes map[string]*relation.Delta) (out *relation.Delta, handled bool, err error) {
+	if e.cfg.EagerProvenance || v.isTrace {
+		return nil, false, nil
+	}
+	prep, err := e.preparedFor(v)
+	if err != nil {
+		return nil, false, err
+	}
+	if !prep.DeltaSafe() || !prep.Primed() {
+		return nil, false, nil
+	}
+	in := make(map[string]relation.Delta)
+	rowsIn := 0
+	for _, d := range v.deps {
+		if !d.live() {
+			continue
+		}
+		dk := strings.ToLower(d.name)
+		cd, ok := changes[dk]
+		if !ok {
+			continue
+		}
+		if cd == nil {
+			return nil, false, nil // unknown change: must recompute
+		}
+		in[dk] = *cd
+		rowsIn += cd.Len()
+	}
+	od, err := e.executor().ApplyDelta(prep, in)
+	if err != nil {
+		return nil, false, nil // state reset inside; fall back to recompute
+	}
+	rel, err := e.store.Get(v.name)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := rel.ApplyDelta(od); err != nil {
+		// Materialized contents out of sync with the pipeline (host
+		// mutation?); re-prime via full recompute.
+		prep.ResetState()
+		return nil, false, nil
+	}
+	e.Stats.ViewDeltaApplies++
+	e.Stats.DeltaRowsIn += rowsIn
+	e.Stats.DeltaRowsOut += od.Len()
+	return &od, true, nil
+}
+
+// renderIfDirty re-renders only when a sink's contents changed in this
+// refresh; otherwise the framebuffer is already correct (the satellite
+// rasterization skip — a full redraw remains the correct fallback and is
+// what RecomputeAll mode always does).
+func (e *Engine) renderIfDirty(changes map[string]*relation.Delta) error {
+	if !e.anySink() {
+		return nil
+	}
+	for k, cd := range changes {
+		v, ok := e.views[k]
+		if !ok || v.renderAs == nil {
+			continue
+		}
+		if cd == nil || !cd.Empty() {
+			return e.render()
+		}
+	}
+	e.Stats.RenderSkips++
+	return nil
+}
+
+func (e *Engine) anySink() bool {
+	for _, name := range e.viewOrder {
+		if e.views[strings.ToLower(name)].renderAs != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// resetDeltaStates drops every view's delta-pipeline state. Called when the
+// live store changes behind the pipelines' backs (rollback, undo, version
+// restore); the next recompute re-primes each view.
+func (e *Engine) resetDeltaStates() {
+	for _, v := range e.views {
+		if v.prepared != nil {
+			v.prepared.ResetState()
+		}
+	}
 }
 
 // render rasterizes every render sink, in definition order, onto a cleared
 // framebuffer.
 func (e *Engine) render() error {
-	any := false
-	for _, name := range e.viewOrder {
-		if e.views[strings.ToLower(name)].renderAs != nil {
-			any = true
-			break
-		}
-	}
-	if !any {
+	if !e.anySink() {
 		return nil
 	}
 	e.Stats.RenderPasses++
@@ -516,9 +721,12 @@ func (e *Engine) FeedEvent(ev events.Event) (TxnEvent, error) {
 		if err != nil {
 			return out, err
 		}
+		var cd relation.Delta
 		if acts.Began {
 			out.Began = true
-			// Each interaction starts from a fresh compound table.
+			// Each interaction starts from a fresh compound table; the old
+			// rows leave as deletes.
+			cd.Del = ct.Rows
 			ct.Rows = nil
 			e.store.BeginTxn()
 			e.activeTxn = rec.Name()
@@ -528,9 +736,13 @@ func (e *Engine) FeedEvent(ev events.Event) (TxnEvent, error) {
 				return out, err
 			}
 		}
+		cd.Ins = acts.Rows
 		out.RowsEmitted += len(acts.Rows)
 		if acts.Began || len(acts.Rows) > 0 {
-			if err := e.refresh([]string{rec.Name()}); err != nil {
+			// Cancel delete/insert pairs so an interaction restart that
+			// reproduces existing rows does not ripple through the dataflow.
+			cd = cd.Consolidate()
+			if err := e.refresh(changeSet(rec.Name(), &cd)); err != nil {
 				return out, err
 			}
 		}
@@ -589,6 +801,9 @@ func (e *Engine) abort(compound string) error {
 		return err
 	}
 	ct.Rows = nil
+	// The rollback rewrote live contents without deltas; every delta
+	// pipeline is now stale and re-primes on its next recompute.
+	e.resetDeltaStates()
 	return e.render()
 }
 
@@ -599,6 +814,7 @@ func (e *Engine) Undo() error {
 	if err := e.store.RestoreVersion(2); err != nil {
 		return err
 	}
+	e.resetDeltaStates()
 	if err := e.render(); err != nil {
 		return err
 	}

@@ -1,0 +1,1020 @@
+package exec
+
+// Stateful delta pipeline. For delta-safe plans (plan.DeltaSafety), Prepare
+// builds — alongside the stateless bound operators — a parallel tree of
+// long-lived stateful operators that keep whatever each operator needs to
+// turn an input delta into its exact output delta: join operators keep both
+// inputs indexed by key, aggregation keeps per-group accumulator state
+// (with removal support), distinct and set operations keep tuple counts.
+//
+// The lifecycle is: init (a full run that also builds state — "priming"),
+// then any number of delta applications, each costing work proportional to
+// the change rather than the data. Any inconsistency (a delete for a row
+// the state never saw) resets the pipeline and surfaces an error; callers
+// fall back to full recomputation, which re-primes.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// dnode is one stateful operator of the delta pipeline.
+type dnode interface {
+	// init fully evaluates the subtree against the live catalog,
+	// (re)building operator state, and returns the full output rows.
+	init(ex *Executor) ([]relation.Tuple, error)
+	// delta propagates the input deltas (keyed by lowercase relation name)
+	// through the subtree, updating state, and returns the output delta.
+	// Only valid after init.
+	delta(ex *Executor, in map[string]relation.Delta) (relation.Delta, error)
+	// reset drops all retained state.
+	reset()
+}
+
+// buildDelta mirrors the bound-operator tree with stateful delta operators.
+// It returns false for shapes without a delta rule; callers gate on
+// plan.DeltaSafety first, so a false here is belt and braces.
+func buildDelta(b bnode) (dnode, bool) {
+	switch t := b.(type) {
+	case *bScan:
+		return &dScan{s: t.s}, true
+	case *bFilter:
+		if t.pred.raw != nil && t.pred.fn == nil {
+			return nil, false // needs per-run resolution
+		}
+		child, ok := buildDelta(t.child)
+		if !ok {
+			return nil, false
+		}
+		return &dFilter{b: t, child: child}, true
+	case *bProject:
+		if t.static == nil && len(t.items) > 0 {
+			return nil, false
+		}
+		child, ok := buildDelta(t.child)
+		if !ok {
+			return nil, false
+		}
+		return &dProject{b: t, child: child}, true
+	case *bJoin:
+		if t.residual.raw != nil && t.residual.fn == nil {
+			return nil, false
+		}
+		l, ok := buildDelta(t.l)
+		if !ok {
+			return nil, false
+		}
+		r, ok := buildDelta(t.r)
+		if !ok {
+			return nil, false
+		}
+		return &dJoin{b: t, l: l, r: r}, true
+	case *bAggregate:
+		if t.static == nil {
+			return nil, false
+		}
+		child, ok := buildDelta(t.child)
+		if !ok {
+			return nil, false
+		}
+		return &dAggregate{b: t, child: child}, true
+	case *bDistinct:
+		child, ok := buildDelta(t.child)
+		if !ok {
+			return nil, false
+		}
+		return &dDistinct{child: child}, true
+	case *bSetOp:
+		l, ok := buildDelta(t.l)
+		if !ok {
+			return nil, false
+		}
+		r, ok := buildDelta(t.r)
+		if !ok {
+			return nil, false
+		}
+		return &dSetOp{b: t, l: l, r: r}, true
+	default: // bSort, bLimit: order-sensitive
+		return nil, false
+	}
+}
+
+// --- executor entry points ---
+
+// RunStateful executes a delta-safe prepared plan fully, rebuilding the
+// operator state the delta path consumes ("priming"), and returns the full
+// result. It errors for plans without a delta pipeline; use RunPrepared for
+// those.
+func (ex *Executor) RunStateful(p *Prepared) (*Result, error) {
+	if p.droot == nil {
+		return nil, fmt.Errorf("exec: plan is not incrementalizable (%s)", p.deltaReason)
+	}
+	p.primed = false
+	p.droot.reset()
+	rows, err := p.droot.init(ex)
+	if err != nil {
+		p.droot.reset()
+		return nil, err
+	}
+	out := relation.New("", p.src.Schema())
+	out.Rows = rows
+	p.primed = true
+	return &Result{Rel: out}, nil
+}
+
+// ApplyDelta propagates per-relation input deltas (keyed by relation name,
+// case-insensitive) through a primed pipeline and returns the output delta.
+// On error the pipeline state is reset and must be re-primed with
+// RunStateful before the next ApplyDelta.
+func (ex *Executor) ApplyDelta(p *Prepared, in map[string]relation.Delta) (relation.Delta, error) {
+	if p.droot == nil {
+		return relation.Delta{}, fmt.Errorf("exec: plan is not incrementalizable (%s)", p.deltaReason)
+	}
+	if !p.primed {
+		return relation.Delta{}, fmt.Errorf("exec: delta pipeline is not primed; call RunStateful first")
+	}
+	out, err := p.droot.delta(ex, in)
+	if err != nil {
+		p.ResetState()
+		return relation.Delta{}, err
+	}
+	return out, nil
+}
+
+// --- scan ---
+
+type dScan struct {
+	s *plan.Scan
+}
+
+func (d *dScan) init(ex *Executor) ([]relation.Tuple, error) {
+	if d.s.Name == "" { // constant SELECT: one empty row
+		return []relation.Tuple{{}}, nil
+	}
+	src, err := ex.Cat.Resolve(d.s.Name, d.s.Version)
+	if err != nil {
+		return nil, err
+	}
+	return src.Rows, nil
+}
+
+func (d *dScan) delta(ex *Executor, in map[string]relation.Delta) (relation.Delta, error) {
+	if d.s.Name == "" {
+		return relation.Delta{}, nil
+	}
+	return in[strings.ToLower(d.s.Name)], nil
+}
+
+func (d *dScan) reset() {}
+
+// --- filter ---
+
+type dFilter struct {
+	b     *bFilter
+	child dnode
+}
+
+func (d *dFilter) filter(rows []relation.Tuple) ([]relation.Tuple, error) {
+	pred := d.b.pred.fn
+	if pred == nil {
+		return rows, nil
+	}
+	env := &expr.Env{}
+	var out []relation.Tuple
+	for _, row := range rows {
+		env.Row = row
+		v, err := pred(env)
+		if err != nil {
+			return nil, fmt.Errorf("filter %s: %w", d.b.pred.String(), err)
+		}
+		if !v.IsNull() && v.Truthy() {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func (d *dFilter) init(ex *Executor) ([]relation.Tuple, error) {
+	rows, err := d.child.init(ex)
+	if err != nil {
+		return nil, err
+	}
+	return d.filter(rows)
+}
+
+func (d *dFilter) delta(ex *Executor, in map[string]relation.Delta) (relation.Delta, error) {
+	din, err := d.child.delta(ex, in)
+	if err != nil || din.Empty() {
+		return relation.Delta{}, err
+	}
+	var out relation.Delta
+	// The predicate is deterministic over the row alone, so a deleted row
+	// passes now iff it passed when inserted.
+	if out.Ins, err = d.filter(din.Ins); err != nil {
+		return out, err
+	}
+	if out.Del, err = d.filter(din.Del); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func (d *dFilter) reset() { d.child.reset() }
+
+// --- project ---
+
+type dProject struct {
+	b     *bProject
+	child dnode
+}
+
+func (d *dProject) project(rows []relation.Tuple) ([]relation.Tuple, error) {
+	fns := d.b.static
+	env := &expr.Env{}
+	out := make([]relation.Tuple, 0, len(rows))
+	var arena valueArena
+	arena.expect(len(rows) * len(fns))
+	for _, row := range rows {
+		env.Row = row
+		t := arena.alloc(len(fns))
+		for c, fn := range fns {
+			v, err := fn(env)
+			if err != nil {
+				return nil, fmt.Errorf("project %s: %w", d.b.items[c].String(), err)
+			}
+			t[c] = v
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func (d *dProject) init(ex *Executor) ([]relation.Tuple, error) {
+	rows, err := d.child.init(ex)
+	if err != nil {
+		return nil, err
+	}
+	return d.project(rows)
+}
+
+func (d *dProject) delta(ex *Executor, in map[string]relation.Delta) (relation.Delta, error) {
+	din, err := d.child.delta(ex, in)
+	if err != nil || din.Empty() {
+		return relation.Delta{}, err
+	}
+	var out relation.Delta
+	// Deterministic expressions: projecting a deleted input row reproduces
+	// exactly the output row emitted when it was inserted.
+	if out.Ins, err = d.project(din.Ins); err != nil {
+		return out, err
+	}
+	if out.Del, err = d.project(din.Del); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func (d *dProject) reset() { d.child.reset() }
+
+// --- join ---
+
+// joinSideState indexes one join input's current rows: by equi-key for hash
+// joins, or as a plain list for cross/non-equi joins.
+type joinSideState struct {
+	keyed   bool
+	buckets map[uint64][]int32
+	keys    []relation.Tuple
+	rows    [][]relation.Tuple
+	all     []relation.Tuple
+}
+
+func newJoinSideState(keyed bool, capacity int) *joinSideState {
+	s := &joinSideState{keyed: keyed}
+	if keyed {
+		s.buckets = make(map[uint64][]int32, capacity)
+	} else {
+		s.all = make([]relation.Tuple, 0, capacity)
+	}
+	return s
+}
+
+func (s *joinSideState) keyID(key relation.Tuple, insert bool) int32 {
+	h := key.Hash()
+	for _, id := range s.buckets[h] {
+		if s.keys[id].Equal(key) {
+			return id
+		}
+	}
+	if !insert {
+		return -1
+	}
+	id := int32(len(s.keys))
+	s.keys = append(s.keys, key.Clone()) // key is a reused scratch tuple
+	s.rows = append(s.rows, nil)
+	s.buckets[h] = append(s.buckets[h], id)
+	return id
+}
+
+func (s *joinSideState) add(key, row relation.Tuple) {
+	if !s.keyed {
+		s.all = append(s.all, row)
+		return
+	}
+	id := s.keyID(key, true)
+	s.rows[id] = append(s.rows[id], row)
+}
+
+func removeRow(rows []relation.Tuple, row relation.Tuple) ([]relation.Tuple, bool) {
+	for i, r := range rows {
+		if r.Equal(row) {
+			rows[i] = rows[len(rows)-1]
+			return rows[:len(rows)-1], true
+		}
+	}
+	return rows, false
+}
+
+func (s *joinSideState) remove(key, row relation.Tuple) error {
+	if !s.keyed {
+		var ok bool
+		if s.all, ok = removeRow(s.all, row); !ok {
+			return fmt.Errorf("join state: deleted row not present")
+		}
+		return nil
+	}
+	id := s.keyID(key, false)
+	if id < 0 {
+		return fmt.Errorf("join state: deleted row's key not present")
+	}
+	var ok bool
+	if s.rows[id], ok = removeRow(s.rows[id], row); !ok {
+		return fmt.Errorf("join state: deleted row not present under its key")
+	}
+	return nil
+}
+
+func (s *joinSideState) matches(key relation.Tuple) []relation.Tuple {
+	if !s.keyed {
+		return s.all
+	}
+	id := s.keyID(key, false)
+	if id < 0 {
+		return nil
+	}
+	return s.rows[id]
+}
+
+type dJoin struct {
+	b    *bJoin
+	l, r dnode
+	ls   *joinSideState
+	rs   *joinSideState
+}
+
+// residualOK applies the static residual predicate to the concatenation.
+func (d *dJoin) residualOK(scratch relation.Tuple, env *expr.Env) (bool, error) {
+	res := d.b.residual.fn
+	if res == nil {
+		return true, nil
+	}
+	env.Row = scratch
+	v, err := res(env)
+	if err != nil {
+		return false, fmt.Errorf("join predicate %s: %w", d.b.residual.String(), err)
+	}
+	return !v.IsNull() && v.Truthy(), nil
+}
+
+func (d *dJoin) init(ex *Executor) ([]relation.Tuple, error) {
+	d.reset()
+	lrows, err := d.l.init(ex)
+	if err != nil {
+		return nil, err
+	}
+	rrows, err := d.r.init(ex)
+	if err != nil {
+		return nil, err
+	}
+	keyed := len(d.b.lks) > 0
+	d.ls = newJoinSideState(keyed, len(lrows))
+	d.rs = newJoinSideState(keyed, len(rrows))
+	env := &expr.Env{}
+	key := make(relation.Tuple, len(d.b.lks))
+	for _, row := range lrows {
+		if keyed {
+			env.Row = row
+			null, err := evalKeys(d.b.lks, d.b.lkRaw, key, env)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue // NULL keys never match; keep them out of state
+			}
+		}
+		d.ls.add(key, row)
+	}
+	for _, row := range rrows {
+		if keyed {
+			env.Row = row
+			null, err := evalKeys(d.b.rks, d.b.rkRaw, key, env)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue
+			}
+		}
+		d.rs.add(key, row)
+	}
+	// Full output: probe the left state with every right row.
+	out := make([]relation.Tuple, 0, len(rrows))
+	scratch := make(relation.Tuple, 0, d.b.lw+d.b.rw)
+	var arena valueArena
+	arena.expect(len(rrows) * (d.b.lw + d.b.rw))
+	for _, rrow := range rrows {
+		if keyed {
+			env.Row = rrow
+			null, err := evalKeys(d.b.rks, d.b.rkRaw, key, env)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue
+			}
+		}
+		for _, lrow := range d.ls.matches(key) {
+			scratch = append(append(scratch[:0], lrow...), rrow...)
+			ok, err := d.residualOK(scratch, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				t := arena.alloc(len(scratch))
+				copy(t, scratch)
+				out = append(out, t)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (d *dJoin) delta(ex *Executor, in map[string]relation.Delta) (relation.Delta, error) {
+	dl, err := d.l.delta(ex, in)
+	if err != nil {
+		return relation.Delta{}, err
+	}
+	dr, err := d.r.delta(ex, in)
+	if err != nil {
+		return relation.Delta{}, err
+	}
+	if dl.Empty() && dr.Empty() {
+		return relation.Delta{}, nil
+	}
+	keyed := len(d.b.lks) > 0
+	env := &expr.Env{}
+	key := make(relation.Tuple, len(d.b.lks))
+	lw, rw := d.b.lw, d.b.rw
+	var out relation.Delta
+	var arena valueArena
+
+	// emitMatches pairs row against every match in other, appending the
+	// concatenations that satisfy the residual to *dst. Output tuples are
+	// carved from an arena sized by the actual match counts; a tuple a
+	// non-nil residual rejects is abandoned in its block (bounded waste)
+	// rather than copied twice.
+	emitMatches := func(row relation.Tuple, other *joinSideState, left bool, dst *[]relation.Tuple) error {
+		m := other.matches(key)
+		if len(m) == 0 {
+			return nil
+		}
+		arena.expect(len(m) * (lw + rw))
+		for _, orow := range m {
+			t := arena.alloc(lw + rw)
+			if left {
+				copy(t, row)
+				copy(t[lw:], orow)
+			} else {
+				copy(t, orow)
+				copy(t[lw:], row)
+			}
+			ok, err := d.residualOK(t, env)
+			if err != nil {
+				return err
+			}
+			if ok {
+				*dst = append(*dst, t)
+			}
+		}
+		return nil
+	}
+
+	// ΔOut = ΔL ⋈ R_old  ∪  L_new ⋈ ΔR: process the left delta against the
+	// untouched right state, fold it into the left state, then process the
+	// right delta against the updated left state.
+	process := func(dd relation.Delta, ks []expr.Compiled, kraw []expr.Expr, state, other *joinSideState, left bool) error {
+		handle := func(rows []relation.Tuple, ins bool) error {
+			dst := &out.Ins
+			if !ins {
+				dst = &out.Del
+			}
+			for _, row := range rows {
+				if keyed {
+					env.Row = row
+					null, err := evalKeys(ks, kraw, key, env)
+					if err != nil {
+						return err
+					}
+					if null {
+						continue // NULL keys never matched anything
+					}
+				}
+				if err := emitMatches(row, other, left, dst); err != nil {
+					return err
+				}
+				if ins {
+					state.add(key, row)
+				} else if err := state.remove(key, row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := handle(dd.Ins, true); err != nil {
+			return err
+		}
+		return handle(dd.Del, false)
+	}
+	if err := process(dl, d.b.lks, d.b.lkRaw, d.ls, d.rs, true); err != nil {
+		return out, err
+	}
+	if err := process(dr, d.b.rks, d.b.rkRaw, d.rs, d.ls, false); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func (d *dJoin) reset() {
+	d.ls, d.rs = nil, nil
+	d.l.reset()
+	d.r.reset()
+}
+
+// --- aggregate ---
+
+type dgroup struct {
+	key     relation.Tuple
+	rep     relation.Tuple // any member; outputs only read grouping columns
+	rows    int64
+	states  []*aggState
+	emitted relation.Tuple // last output row shipped downstream; nil if none
+	touched bool
+}
+
+type dAggregate struct {
+	b        *bAggregate
+	child    dnode
+	groups   map[uint64][]*dgroup
+	needVals []bool
+	aggs     []relation.Value
+}
+
+func (d *dAggregate) prog() *aggProgram { return d.b.static }
+
+func (d *dAggregate) newGroup(h uint64, key, rep relation.Tuple) *dgroup {
+	prog := d.prog()
+	grp := &dgroup{rep: rep, states: make([]*aggState, len(prog.specs))}
+	if key != nil {
+		grp.key = key.Clone()
+	}
+	for si := range grp.states {
+		grp.states[si] = newDeltaAggState(prog.specs[si].agg.Distinct, d.needVals[si])
+	}
+	d.groups[h] = append(d.groups[h], grp)
+	return grp
+}
+
+func (d *dAggregate) findGroup(h uint64, key relation.Tuple) *dgroup {
+	for _, cand := range d.groups[h] {
+		if cand.key.Equal(key) {
+			return cand
+		}
+	}
+	return nil
+}
+
+func (d *dAggregate) dropGroup(h uint64, grp *dgroup) {
+	bucket := d.groups[h]
+	for i, cand := range bucket {
+		if cand == grp {
+			bucket[i] = bucket[len(bucket)-1]
+			d.groups[h] = bucket[:len(bucket)-1]
+			return
+		}
+	}
+}
+
+// accumulate feeds one input row into its group with the given sign.
+func (d *dAggregate) accumulate(env *expr.Env, key relation.Tuple, row relation.Tuple, sign int, touched *[]*dgroup) (*dgroup, error) {
+	prog := d.prog()
+	env.Row = row
+	for gi, g := range prog.groupBy {
+		v, err := g(env)
+		if err != nil {
+			return nil, fmt.Errorf("group by %s: %w", prog.groupStr[gi], err)
+		}
+		key[gi] = v
+	}
+	h := key.Hash()
+	grp := d.findGroup(h, key)
+	if grp == nil {
+		if sign < 0 {
+			return nil, fmt.Errorf("aggregate state: delete for a group never seen")
+		}
+		grp = d.newGroup(h, key, row)
+	}
+	if touched != nil && !grp.touched {
+		grp.touched = true
+		*touched = append(*touched, grp)
+	}
+	grp.rows += int64(sign)
+	for si := range prog.specs {
+		sp := &prog.specs[si]
+		if sp.arg == nil { // count(*)
+			continue
+		}
+		v, err := sp.arg(env)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate %s: %w", sp.str, err)
+		}
+		if sign > 0 {
+			grp.states[si].add(v)
+		} else if err := grp.states[si].remove(v); err != nil {
+			return nil, err
+		}
+	}
+	return grp, nil
+}
+
+// output computes the group's current output row, nil when HAVING drops it.
+func (d *dAggregate) output(env *expr.Env, grp *dgroup) (relation.Tuple, error) {
+	prog := d.prog()
+	env.Row = grp.rep
+	if grp.rows == 0 {
+		// A global group over zero rows has no representative: recomputation
+		// would evaluate columns against a nil row (all NULL).
+		env.Row = nil
+	}
+	for si := range prog.specs {
+		sp := &prog.specs[si]
+		d.aggs[si] = grp.states[si].result(sp.agg.Name, grp.rows, sp.agg.Arg == nil)
+	}
+	env.Aggs = d.aggs
+	defer func() { env.Aggs = nil }()
+	if prog.having != nil {
+		hv, err := prog.having(env)
+		if err != nil {
+			return nil, fmt.Errorf("having: %w", err)
+		}
+		if hv.IsNull() || !hv.Truthy() {
+			return nil, nil
+		}
+	}
+	t := make(relation.Tuple, len(prog.items))
+	for c, it := range prog.items {
+		v, err := it(env)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate output %s: %w", prog.itemStr[c], err)
+		}
+		t[c] = v
+	}
+	return t, nil
+}
+
+func (d *dAggregate) init(ex *Executor) ([]relation.Tuple, error) {
+	d.child.reset()
+	rows, err := d.child.init(ex)
+	if err != nil {
+		return nil, err
+	}
+	prog := d.prog()
+	d.groups = make(map[uint64][]*dgroup)
+	d.aggs = make([]relation.Value, len(prog.specs))
+	d.needVals = make([]bool, len(prog.specs))
+	for si := range prog.specs {
+		name := prog.specs[si].agg.Name
+		d.needVals[si] = prog.specs[si].agg.Distinct || name == "min" || name == "max"
+	}
+	nk := len(prog.groupBy)
+	env := &expr.Env{}
+	key := make(relation.Tuple, nk)
+	var order []*dgroup
+	for _, row := range rows {
+		grp, err := d.accumulate(env, key, row, +1, nil)
+		if err != nil {
+			return nil, err
+		}
+		if grp.rows == 1 {
+			order = append(order, grp)
+		}
+	}
+	if nk == 0 && len(order) == 0 {
+		order = append(order, d.newGroup(relation.Tuple(nil).Hash(), nil, nil))
+	}
+	out := make([]relation.Tuple, 0, len(order))
+	for _, grp := range order {
+		t, err := d.output(env, grp)
+		if err != nil {
+			return nil, err
+		}
+		grp.emitted = t
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+func (d *dAggregate) delta(ex *Executor, in map[string]relation.Delta) (relation.Delta, error) {
+	din, err := d.child.delta(ex, in)
+	if err != nil || din.Empty() {
+		return relation.Delta{}, err
+	}
+	prog := d.prog()
+	nk := len(prog.groupBy)
+	env := &expr.Env{}
+	key := make(relation.Tuple, nk)
+	var touched []*dgroup
+	for _, row := range din.Ins {
+		if _, err := d.accumulate(env, key, row, +1, &touched); err != nil {
+			return relation.Delta{}, err
+		}
+	}
+	for _, row := range din.Del {
+		if _, err := d.accumulate(env, key, row, -1, &touched); err != nil {
+			return relation.Delta{}, err
+		}
+	}
+	var out relation.Delta
+	for _, grp := range touched {
+		grp.touched = false
+		if grp.rows < 0 {
+			return out, fmt.Errorf("aggregate state: group row count went negative")
+		}
+		if grp.rows == 0 && nk > 0 {
+			if grp.emitted != nil {
+				out.Del = append(out.Del, grp.emitted)
+			}
+			d.dropGroup(grp.key.Hash(), grp)
+			continue
+		}
+		t, err := d.output(env, grp)
+		if err != nil {
+			return out, err
+		}
+		switch {
+		case grp.emitted == nil && t == nil:
+			// still filtered by HAVING
+		case grp.emitted != nil && t != nil && grp.emitted.Equal(t):
+			// unchanged output: keep the old tuple, ship nothing
+		default:
+			if grp.emitted != nil {
+				out.Del = append(out.Del, grp.emitted)
+			}
+			if t != nil {
+				out.Ins = append(out.Ins, t)
+			}
+			grp.emitted = t
+		}
+	}
+	return out, nil
+}
+
+func (d *dAggregate) reset() {
+	d.groups = nil
+	d.child.reset()
+}
+
+// --- distinct ---
+
+type dDistinct struct {
+	child dnode
+	bag   *relation.TupleBag
+}
+
+func (d *dDistinct) bump(row relation.Tuple, by int64) (int64, error) {
+	n := d.bag.Add(row, by)
+	if n < 0 {
+		return 0, fmt.Errorf("distinct state: count went negative")
+	}
+	return n, nil
+}
+
+func (d *dDistinct) init(ex *Executor) ([]relation.Tuple, error) {
+	d.child.reset()
+	rows, err := d.child.init(ex)
+	if err != nil {
+		return nil, err
+	}
+	d.bag = relation.NewTupleBag(len(rows))
+	out := make([]relation.Tuple, 0, len(rows))
+	for _, row := range rows {
+		n, err := d.bump(row, 1)
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func (d *dDistinct) delta(ex *Executor, in map[string]relation.Delta) (relation.Delta, error) {
+	din, err := d.child.delta(ex, in)
+	if err != nil || din.Empty() {
+		return relation.Delta{}, err
+	}
+	var out relation.Delta
+	for _, row := range din.Ins {
+		n, err := d.bump(row, 1)
+		if err != nil {
+			return out, err
+		}
+		if n == 1 {
+			out.Ins = append(out.Ins, row)
+		}
+	}
+	for _, row := range din.Del {
+		n, err := d.bump(row, -1)
+		if err != nil {
+			return out, err
+		}
+		if n == 0 {
+			out.Del = append(out.Del, row)
+		}
+	}
+	return out, nil
+}
+
+func (d *dDistinct) reset() {
+	d.bag = nil
+	d.child.reset()
+}
+
+// --- set operations ---
+
+// dSetOp maintains per-tuple counts on each side. Output membership is a
+// function of the two counts: union (set) lc+rc > 0, minus lc > 0 ∧ rc = 0,
+// intersect lc > 0 ∧ rc > 0. UNION ALL is stateless concatenation.
+type dSetOp struct {
+	b      *bSetOp
+	l, r   dnode
+	tab    *tupleTable
+	lc, rc []int64
+}
+
+func (d *dSetOp) unionAll() bool { return d.b.kind == plan.SetUnion && d.b.all }
+
+func (d *dSetOp) member(id int32) bool {
+	switch d.b.kind {
+	case plan.SetUnion:
+		return d.lc[id]+d.rc[id] > 0
+	case plan.SetMinus:
+		return d.lc[id] > 0 && d.rc[id] == 0
+	default:
+		return d.lc[id] > 0 && d.rc[id] > 0
+	}
+}
+
+func (d *dSetOp) bump(row relation.Tuple, left bool, by int64) (int32, error) {
+	id, dup := d.tab.getOrInsert(row)
+	if !dup {
+		d.lc = append(d.lc, 0)
+		d.rc = append(d.rc, 0)
+	}
+	side := d.lc
+	if !left {
+		side = d.rc
+	}
+	side[id] += by
+	if side[id] < 0 {
+		return 0, fmt.Errorf("set-op state: count went negative")
+	}
+	return int32(id), nil
+}
+
+func (d *dSetOp) init(ex *Executor) ([]relation.Tuple, error) {
+	d.child0reset()
+	lrows, err := d.l.init(ex)
+	if err != nil {
+		return nil, err
+	}
+	rrows, err := d.r.init(ex)
+	if err != nil {
+		return nil, err
+	}
+	if arl, arr := rowArity(lrows), rowArity(rrows); arl >= 0 && arr >= 0 && arl != arr {
+		return nil, fmt.Errorf("set operands are not union compatible")
+	}
+	if d.unionAll() {
+		out := make([]relation.Tuple, 0, len(lrows)+len(rrows))
+		return append(append(out, lrows...), rrows...), nil
+	}
+	d.tab = newTupleTable(len(lrows) + len(rrows))
+	d.lc = make([]int64, 0, len(lrows)+len(rrows))
+	d.rc = make([]int64, 0, len(lrows)+len(rrows))
+	for _, row := range lrows {
+		if _, err := d.bump(row, true, 1); err != nil {
+			return nil, err
+		}
+	}
+	for _, row := range rrows {
+		if _, err := d.bump(row, false, 1); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]relation.Tuple, 0, len(d.tab.keys))
+	for id, row := range d.tab.keys {
+		if d.member(int32(id)) {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func (d *dSetOp) delta(ex *Executor, in map[string]relation.Delta) (relation.Delta, error) {
+	dl, err := d.l.delta(ex, in)
+	if err != nil {
+		return relation.Delta{}, err
+	}
+	dr, err := d.r.delta(ex, in)
+	if err != nil {
+		return relation.Delta{}, err
+	}
+	if dl.Empty() && dr.Empty() {
+		return relation.Delta{}, nil
+	}
+	if d.unionAll() {
+		return relation.Delta{
+			Ins: append(append([]relation.Tuple{}, dl.Ins...), dr.Ins...),
+			Del: append(append([]relation.Tuple{}, dl.Del...), dr.Del...),
+		}, nil
+	}
+	var out relation.Delta
+	apply := func(rows []relation.Tuple, left bool, by int64) error {
+		for _, row := range rows {
+			id, dup := d.tab.getOrInsert(row)
+			if !dup {
+				d.lc = append(d.lc, 0)
+				d.rc = append(d.rc, 0)
+			}
+			before := d.member(int32(id))
+			if _, err := d.bump(row, left, by); err != nil {
+				return err
+			}
+			after := d.member(int32(id))
+			switch {
+			case !before && after:
+				out.Ins = append(out.Ins, d.tab.keys[id])
+			case before && !after:
+				out.Del = append(out.Del, d.tab.keys[id])
+			}
+		}
+		return nil
+	}
+	if err := apply(dl.Ins, true, 1); err != nil {
+		return out, err
+	}
+	if err := apply(dr.Ins, false, 1); err != nil {
+		return out, err
+	}
+	if err := apply(dl.Del, true, -1); err != nil {
+		return out, err
+	}
+	if err := apply(dr.Del, false, -1); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func (d *dSetOp) child0reset() {
+	d.tab, d.lc, d.rc = nil, nil, nil
+}
+
+func (d *dSetOp) reset() {
+	d.child0reset()
+	d.l.reset()
+	d.r.reset()
+}
+
+// rowArity returns the arity of the first row, -1 when empty.
+func rowArity(rows []relation.Tuple) int {
+	if len(rows) == 0 {
+		return -1
+	}
+	return len(rows[0])
+}

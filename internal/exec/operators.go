@@ -262,34 +262,53 @@ func evalKeys(fns []expr.Compiled, raw []expr.Expr, key relation.Tuple, env *exp
 
 // --- aggregate ---
 
+// aggState accumulates one aggregate call for one group. The full path only
+// ever adds values; the delta path also removes them, which needs the
+// distinct-value counts (vals) for DISTINCT semantics and for repairing
+// min/max after the current extremum is deleted.
 type aggState struct {
-	count    int64
+	count    int64 // non-null values accumulated (after DISTINCT dedup)
 	sumF     float64
 	sumI     int64
-	intOnly  bool
-	seenAny  bool
+	nonInt   int64 // accumulated values not exactly representable as ints
 	min, max relation.Value
-	distinct map[relation.Value]struct{}
+	// vals counts occurrences per canonical value. Allocated when the spec
+	// is DISTINCT (dedup) or when the caller asks for removal support.
+	vals  map[relation.Value]int64
+	dedup bool
 }
 
-func newAggState() *aggState {
-	return &aggState{intOnly: true, min: relation.Null(), max: relation.Null()}
+// newAggState builds accumulate-only state (the full path). dedup marks a
+// DISTINCT aggregate.
+func newAggState(dedup bool) *aggState {
+	st := &aggState{min: relation.Null(), max: relation.Null(), dedup: dedup}
+	if dedup {
+		st.vals = make(map[relation.Value]int64)
+	}
+	return st
 }
 
-func (st *aggState) add(v relation.Value, distinct bool) {
+// newDeltaAggState builds state that also supports remove. trackVals forces
+// value counting even for non-DISTINCT specs (min/max repair).
+func newDeltaAggState(dedup, trackVals bool) *aggState {
+	st := newAggState(dedup)
+	if trackVals && st.vals == nil {
+		st.vals = make(map[relation.Value]int64)
+	}
+	return st
+}
+
+func (st *aggState) add(v relation.Value) {
 	if v.IsNull() {
 		return
 	}
-	if distinct {
-		if st.distinct == nil {
-			st.distinct = make(map[relation.Value]struct{})
-		}
-		if _, dup := st.distinct[v.Key()]; dup {
+	if st.vals != nil {
+		k := v.Key()
+		st.vals[k]++
+		if st.dedup && st.vals[k] > 1 {
 			return
 		}
-		st.distinct[v.Key()] = struct{}{}
 	}
-	st.seenAny = true
 	st.count++
 	if f, ok := v.AsFloat(); ok {
 		st.sumF += f
@@ -297,10 +316,10 @@ func (st *aggState) add(v relation.Value, distinct bool) {
 			n, _ := v.AsInt()
 			st.sumI += n
 		} else {
-			st.intOnly = false
+			st.nonInt++
 		}
 	} else {
-		st.intOnly = false
+		st.nonInt++
 	}
 	if st.min.IsNull() || v.Compare(st.min) < 0 {
 		st.min = v
@@ -308,6 +327,72 @@ func (st *aggState) add(v relation.Value, distinct bool) {
 	if st.max.IsNull() || v.Compare(st.max) > 0 {
 		st.max = v
 	}
+}
+
+// remove undoes one add. It requires vals tracking when min/max repair may
+// be needed; callers guarantee that by constructing delta states with
+// trackVals for min/max specs.
+func (st *aggState) remove(v relation.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	k := v.Key()
+	if st.vals != nil {
+		n := st.vals[k] - 1
+		if n < 0 {
+			return fmt.Errorf("aggregate state: removing value %s never added", v)
+		}
+		if n == 0 {
+			delete(st.vals, k)
+		} else {
+			st.vals[k] = n
+		}
+		if st.dedup && n > 0 {
+			return nil // other occurrences keep the distinct value alive
+		}
+	}
+	st.count--
+	if st.count < 0 {
+		return fmt.Errorf("aggregate state: count went negative")
+	}
+	if f, ok := v.AsFloat(); ok {
+		st.sumF -= f
+		if v.Kind() == relation.KindInt {
+			n, _ := v.AsInt()
+			st.sumI -= n
+		} else {
+			st.nonInt--
+		}
+	} else {
+		st.nonInt--
+	}
+	if st.count == 0 {
+		// Exact reset: clears float drift for emptied groups.
+		st.sumF, st.sumI, st.nonInt = 0, 0, 0
+		st.min, st.max = relation.Null(), relation.Null()
+		return nil
+	}
+	// Repair min/max if the removed value was the extremum and is now gone.
+	if st.vals != nil && st.vals[k] == 0 {
+		if !st.min.IsNull() && st.min.Key() == k {
+			st.min = st.rescan(-1)
+		}
+		if !st.max.IsNull() && st.max.Key() == k {
+			st.max = st.rescan(+1)
+		}
+	}
+	return nil
+}
+
+// rescan finds the new extremum from the value counts (dir < 0: min).
+func (st *aggState) rescan(dir int) relation.Value {
+	best := relation.Null()
+	for v := range st.vals {
+		if best.IsNull() || dir*v.Compare(best) > 0 {
+			best = v
+		}
+	}
+	return best
 }
 
 func (st *aggState) result(name string, rowsInGroup int64, star bool) relation.Value {
@@ -318,15 +403,15 @@ func (st *aggState) result(name string, rowsInGroup int64, star bool) relation.V
 		}
 		return relation.Int(st.count)
 	case "sum":
-		if !st.seenAny {
+		if st.count == 0 {
 			return relation.Null()
 		}
-		if st.intOnly {
+		if st.nonInt == 0 {
 			return relation.Int(st.sumI)
 		}
 		return relation.Float(st.sumF)
 	case "avg":
-		if !st.seenAny {
+		if st.count == 0 {
 			return relation.Null()
 		}
 		return relation.Float(st.sumF / float64(st.count))
@@ -396,7 +481,7 @@ func (b *bAggregate) run(ex *Executor) (*Result, error) {
 			copy(grp.key, key)
 		}
 		for si := range grp.states {
-			grp.states[si] = newAggState()
+			grp.states[si] = newAggState(prog.specs[si].agg.Distinct)
 		}
 		if ex.CaptureLineage {
 			grp.lineage = Lineage{}
@@ -435,7 +520,7 @@ func (b *bAggregate) run(ex *Executor) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("aggregate %s: %w", sp.str, err)
 			}
-			grp.states[si].add(v, sp.agg.Distinct)
+			grp.states[si].add(v)
 		}
 		if ex.CaptureLineage {
 			grp.lineage = mergeLineage(grp.lineage, in.Lin[i])

@@ -19,13 +19,41 @@ import (
 // Prepared is a plan compiled against its input schemas, ready to run many
 // times. It holds per-operator scratch buffers, so a Prepared must not be
 // executed concurrently with itself.
+//
+// Delta-safe plans (plan.DeltaSafety) additionally carry a stateful delta
+// pipeline: RunStateful primes it with a full run, after which ApplyDelta
+// turns input deltas into output deltas at cost proportional to the change.
 type Prepared struct {
 	root bnode
 	src  plan.Node
+
+	droot       dnode  // stateful delta pipeline; nil when not delta-safe
+	deltaReason string // why droot is nil
+	primed      bool   // whether droot holds state consistent with the catalog
 }
 
 // Plan returns the underlying logical plan (EXPLAIN-style output).
 func (p *Prepared) Plan() plan.Node { return p.src }
+
+// DeltaSafe reports whether the plan admits incremental delta propagation.
+func (p *Prepared) DeltaSafe() bool { return p.droot != nil }
+
+// DeltaReason explains why the plan is not delta-safe ("" when it is).
+func (p *Prepared) DeltaReason() string { return p.deltaReason }
+
+// Primed reports whether the delta pipeline holds state consistent with the
+// catalog (set by RunStateful, cleared by ResetState and by errors).
+func (p *Prepared) Primed() bool { return p.primed }
+
+// ResetState drops all delta-pipeline operator state, keeping the compiled
+// evaluators. Call it when the catalog changes behind the pipeline's back
+// (rollback, undo, version restore); the next RunStateful re-primes.
+func (p *Prepared) ResetState() {
+	p.primed = false
+	if p.droot != nil {
+		p.droot.reset()
+	}
+}
 
 // bnode is one bound operator.
 type bnode interface {
@@ -41,7 +69,15 @@ func Prepare(n plan.Node, funcs *expr.Registry) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{root: root, src: n}, nil
+	p := &Prepared{root: root, src: n}
+	if ok, why := plan.DeltaSafety(n); !ok {
+		p.deltaReason = why
+	} else if droot, ok := buildDelta(root); ok {
+		p.droot = droot
+	} else {
+		p.deltaReason = "operator compiled without static evaluators"
+	}
+	return p, nil
 }
 
 func prep(n plan.Node, funcs *expr.Registry) (bnode, error) {

@@ -14,11 +14,15 @@ import (
 	"repro/internal/workload"
 )
 
-// Result is one regenerated experiment artifact.
+// Result is one regenerated experiment artifact. Stats carries optional
+// machine-readable counters (engine work, latencies) that dvms-bench
+// -format json emits alongside the text output, so BENCH_*.json files can
+// track trajectories like incremental-vs-full across PRs.
 type Result struct {
 	ID     string
 	Title  string
 	Output string
+	Stats  map[string]int64 `json:",omitempty"`
 }
 
 // CrossfilterDims lists the five Figure 1 charts: sum(revenue) grouped by

@@ -245,11 +245,15 @@ func StreamExperiment(traces int, seed int64) (Result, error) {
 	return Result{ID: "stream", Title: "Near-interactive streaming (§3.3)", Output: b.String()}, nil
 }
 
-// AblationIncremental compares dirty-set view maintenance against full
-// recomputation on the crossfilter workload (A1).
+// AblationIncremental compares delta-driven view maintenance against full
+// recomputation on the crossfilter workload (A1). The incremental arm
+// reports how the work split across the maintenance paths: delta applies,
+// full fallbacks (subquery-bearing views), empty-delta skips, and render
+// skips.
 func AblationIncremental(n int, seed int64) (Result, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "A1 — incremental vs full view recomputation (%d order lines)\n\n", n)
+	stats := map[string]int64{}
 	for _, full := range []bool{false, true} {
 		e := core.New(core.Config{RecomputeAll: full})
 		if err := e.LoadProgram(BuildCrossfilterProgram(n, seed)); err != nil {
@@ -264,14 +268,27 @@ func AblationIncremental(n int, seed int64) (Result, error) {
 			}
 		}
 		elapsed := time.Since(start)
-		mode := "incremental (dirty-set)"
+		mode := "incremental (delta)"
+		armKey := "incremental"
 		if full {
 			mode = "full recompute"
+			armKey = "full"
 		}
 		fmt.Fprintf(&b, "%-26s %8.2f ms/interaction, %4d view recomputes\n",
 			mode, float64(elapsed.Milliseconds())/rounds, e.Stats.ViewRecomputes)
+		if !full {
+			fmt.Fprintf(&b, "%-26s %d delta applies (%d rows in, %d out), %d fallbacks, %d empty-delta skips, %d render skips\n",
+				"", e.Stats.ViewDeltaApplies, e.Stats.DeltaRowsIn, e.Stats.DeltaRowsOut,
+				e.Stats.FullFallbacks, e.Stats.EmptyDeltaSkips, e.Stats.RenderSkips)
+			stats["delta_applies"] = int64(e.Stats.ViewDeltaApplies)
+			stats["full_fallbacks"] = int64(e.Stats.FullFallbacks)
+			stats["empty_delta_skips"] = int64(e.Stats.EmptyDeltaSkips)
+			stats["render_skips"] = int64(e.Stats.RenderSkips)
+		}
+		stats[armKey+"_view_recomputes"] = int64(e.Stats.ViewRecomputes)
+		stats[armKey+"_us_per_interaction"] = elapsed.Microseconds() / rounds
 	}
-	return Result{ID: "ablation-incremental", Title: "View maintenance ablation", Output: b.String()}, nil
+	return Result{ID: "ablation-incremental", Title: "View maintenance ablation", Output: b.String(), Stats: stats}, nil
 }
 
 // AblationProvenance compares lazy vs eager lineage maintenance on the
@@ -369,6 +386,9 @@ func All() ([]Result, error) {
 		return nil, err
 	}
 	if err := add(EndToEnd([]int{50, 200, 800}, 7)); err != nil {
+		return nil, err
+	}
+	if err := add(IVMScaling([]int{2000}, 6, 7)); err != nil {
 		return nil, err
 	}
 	return out, nil

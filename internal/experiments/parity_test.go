@@ -1,0 +1,208 @@
+package experiments
+
+// Delta-vs-full parity: the property test of ISSUE 2. Randomized event
+// streams replay through two engines — the default incremental one and a
+// RecomputeAll oracle — and after every event the full database state must
+// agree: every relation (bag equality), the committed version count, and
+// the rendered pixels. The three programs cover the three maintenance
+// regimes: the stock crossfilter (subquery-heavy: full fallback + diffs),
+// the stock linked brush (IN/@vnow-1: fallback, abort/rollback paths), and
+// the join-based IVM crossfilter (true delta propagation through join,
+// aggregate, set-op, and sink pipelines, plus base-table writes).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/relation"
+)
+
+// randomDrags builds a stream of nDrags randomized drags with stray events
+// (hovers, filtered moves) between them. Low-y moves exercise recognizer
+// predicates (the brushing program aborts drags dipping to y ≤ 5).
+func randomDrags(rng *rand.Rand, nDrags int) events.Stream {
+	var s events.Stream
+	t := int64(0)
+	for k := 0; k < nDrags; k++ {
+		x0, y0 := int64(rng.Intn(400)), int64(10+rng.Intn(280))
+		s = append(s, events.Mouse(events.MouseDown, t, x0, y0))
+		t++
+		moves := 1 + rng.Intn(5)
+		x, y := x0, y0
+		for m := 0; m < moves; m++ {
+			x += int64(rng.Intn(161) - 60)
+			y += int64(rng.Intn(81) - 40)
+			if rng.Intn(8) == 0 {
+				y = int64(rng.Intn(6)) // dip low: may abort the interaction
+			}
+			s = append(s, events.Mouse(events.MouseMove, t, x, y))
+			t++
+		}
+		s = append(s, events.Mouse(events.MouseUp, t, x, y))
+		t++
+		// Stray events that recognizers filter.
+		if rng.Intn(2) == 0 {
+			s = append(s, events.Mouse(events.Hover, t, 10, 10))
+			t++
+		}
+		if rng.Intn(3) == 0 {
+			s = append(s, events.Mouse(events.MouseMove, t, 200, 200))
+			t++
+		}
+	}
+	return s
+}
+
+func assertEngineParity(t *testing.T, step string, inc, full *core.Engine) {
+	t.Helper()
+	if iv, fv := inc.Store().Versions(), full.Store().Versions(); iv != fv {
+		t.Fatalf("%s: version count diverges: incremental %d vs full %d", step, iv, fv)
+	}
+	for _, name := range full.Store().Names() {
+		fr, err := full.Relation(name)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		ir, err := inc.Relation(name)
+		if err != nil {
+			t.Fatalf("%s: relation %s missing from incremental engine: %v", step, name, err)
+		}
+		if !relation.Equal(ir, fr) {
+			is, fs := ir.Clone(), fr.Clone()
+			is.SortDeterministic()
+			fs.SortDeterministic()
+			t.Fatalf("%s: relation %s diverges\nincremental:\n%s\nfull:\n%s", step, name, is, fs)
+		}
+	}
+	ii, fi := inc.Image(), full.Image()
+	if ii.W != fi.W || ii.H != fi.H {
+		t.Fatalf("%s: image dims diverge", step)
+	}
+	for p := range fi.Pix {
+		if ii.Pix[p] != fi.Pix[p] {
+			t.Fatalf("%s: pixel %d,%d diverges: incremental %+v vs full %+v",
+				step, p%fi.W, p/fi.W, ii.Pix[p], fi.Pix[p])
+		}
+	}
+}
+
+func TestDeltaVsFullParity(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(cfg core.Config) (*core.Engine, error)
+		// mutate optionally applies a mid-stream base-table write.
+		mutate func(e *core.Engine, round int) error
+	}{
+		{
+			name: "crossfilter",
+			mk: func(cfg core.Config) (*core.Engine, error) {
+				e := core.New(cfg)
+				if err := e.LoadProgram(BuildCrossfilterProgram(120, 3)); err != nil {
+					return nil, err
+				}
+				return e, nil
+			},
+		},
+		{
+			name: "linkedbrush",
+			mk: func(cfg core.Config) (*core.Engine, error) {
+				return NewBrushingEngine(60, 3, cfg)
+			},
+		},
+		{
+			name: "ivm-join-crossfilter",
+			mk: func(cfg core.Config) (*core.Engine, error) {
+				return NewIVMEngine(150, 3, cfg)
+			},
+			mutate: func(e *core.Engine, round int) error {
+				if round%2 == 0 {
+					return e.Exec(fmt.Sprintf(
+						"INSERT INTO Sales VALUES (%d, 'EUROPE', 'BUILDING', 1996, %d, 3, 500)",
+						9000+round, 1+round%12))
+				}
+				return e.Exec(fmt.Sprintf("DELETE FROM Sales WHERE month = %d AND revenue < 300", 1+round%12))
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inc, err := tc.mk(core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := tc.mk(core.Config{RecomputeAll: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEngineParity(t, "after load", inc, full)
+			rng := rand.New(rand.NewSource(11))
+			stream := randomDrags(rng, 6)
+			round, commits := 0, 0
+			for i, ev := range stream {
+				ti, err1 := inc.FeedEvent(ev)
+				tf, err2 := full.FeedEvent(ev)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("event %d: error divergence: %v vs %v", i, err1, err2)
+				}
+				if err1 != nil {
+					t.Fatalf("event %d: %v", i, err1)
+				}
+				if ti != tf {
+					t.Fatalf("event %d: txn summaries diverge: %+v vs %+v", i, ti, tf)
+				}
+				assertEngineParity(t, fmt.Sprintf("after event %d (%s)", i, ev.Type), inc, full)
+				// Between interactions, interleave base-table writes and the
+				// occasional undo so state restoration paths are covered.
+				if tc.mutate != nil && ti.Committed {
+					round++
+					if err := tc.mutate(inc, round); err != nil {
+						t.Fatal(err)
+					}
+					if err := tc.mutate(full, round); err != nil {
+						t.Fatal(err)
+					}
+					assertEngineParity(t, fmt.Sprintf("after mutation %d", round), inc, full)
+				}
+				if ti.Committed {
+					commits++
+					if commits == 3 {
+						if err := inc.Undo(); err != nil {
+							t.Fatal(err)
+						}
+						if err := full.Undo(); err != nil {
+							t.Fatal(err)
+						}
+						assertEngineParity(t, "after undo", inc, full)
+					}
+				}
+			}
+			if inc.Stats.EventsFed == 0 {
+				t.Fatal("no events fed")
+			}
+		})
+	}
+}
+
+// TestIVMDeltaPathActuallyUsed guards against the parity suite silently
+// passing because everything fell back: the IVM program must serve brush
+// events through delta application.
+func TestIVMDeltaPathActuallyUsed(t *testing.T) {
+	e, err := NewIVMEngine(200, 3, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Stats = core.Stats{}
+	if _, err := e.FeedStream(IVMBrushStream(4)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.ViewDeltaApplies == 0 {
+		t.Fatal("brush events should flow through the delta path")
+	}
+	if e.Stats.ViewDeltaApplies < e.Stats.FullFallbacks {
+		t.Fatalf("delta applies (%d) should dominate fallbacks (%d)",
+			e.Stats.ViewDeltaApplies, e.Stats.FullFallbacks)
+	}
+}

@@ -1,0 +1,144 @@
+// Delta-safety analysis. A plan is delta-safe when every operator admits an
+// incremental evaluation rule: given a delta (inserted/deleted multiset) on
+// each input, the operator can produce the exact output delta from its
+// retained state without re-reading the inputs. The executor builds a
+// stateful pipeline only for safe plans; everything else falls back to full
+// recomputation (which stays the parity oracle).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/relation"
+)
+
+// DeltaSafety reports whether the plan admits incremental delta propagation
+// and, when it does not, the first reason found. Unsafe shapes:
+//
+//   - scans of version history (@vnow-i with i ≥ 1, any @tnow-j): the scanned
+//     snapshot advances even when the live relation's delta is empty;
+//   - expressions needing per-run resolution (scalar subqueries, IN over a
+//     relation): their value can change with relations the operator never
+//     sees a delta for;
+//   - ORDER BY and LIMIT: their output depends on total row order, which bag
+//     deltas do not preserve;
+//   - aggregates whose output expressions read columns that are not grouping
+//     keys: those read the group's "representative" row, which full
+//     recomputation re-picks but a delta pipeline cannot.
+func DeltaSafety(n Node) (bool, string) {
+	switch t := n.(type) {
+	case *Scan:
+		if t.Name == "" {
+			return true, "" // constant single-row scan
+		}
+		live := t.Version.Kind == relation.VersionCurrent ||
+			(t.Version.Kind == relation.VersionVNow && t.Version.Offset == 0)
+		if !live {
+			return false, fmt.Sprintf("scan %s%s reads version history", t.Name, t.Version)
+		}
+		return true, ""
+	case *Filter:
+		if expr.NeedsResolution(t.Pred) {
+			return false, "filter predicate needs per-run subquery/IN resolution"
+		}
+		return DeltaSafety(t.Child)
+	case *Project:
+		return projectSafety(t)
+	case *aliasProject:
+		return projectSafety(&t.Project)
+	case *Join:
+		if t.Pred != nil && expr.NeedsResolution(t.Pred) {
+			return false, "join predicate needs per-run subquery/IN resolution"
+		}
+		if ok, why := DeltaSafety(t.L); !ok {
+			return false, why
+		}
+		return DeltaSafety(t.R)
+	case *Aggregate:
+		return aggregateSafety(t)
+	case *Distinct:
+		return DeltaSafety(t.Child)
+	case *SetOp:
+		if t.L.Schema().Len() != t.R.Schema().Len() {
+			return false, "set operands are not union compatible"
+		}
+		if ok, why := DeltaSafety(t.L); !ok {
+			return false, why
+		}
+		return DeltaSafety(t.R)
+	case *Sort:
+		return false, "ORDER BY output is order-sensitive"
+	case *Limit:
+		return false, "LIMIT output is order-sensitive"
+	default:
+		return false, fmt.Sprintf("plan node %T has no delta rule", n)
+	}
+}
+
+func projectSafety(p *Project) (bool, string) {
+	for _, it := range p.Items {
+		if expr.NeedsResolution(it.Expr) {
+			return false, "projection needs per-run subquery/IN resolution"
+		}
+	}
+	return DeltaSafety(p.Child)
+}
+
+func aggregateSafety(a *Aggregate) (bool, string) {
+	for _, g := range a.GroupBy {
+		if expr.NeedsResolution(g) {
+			return false, "group-by key needs per-run subquery/IN resolution"
+		}
+	}
+	for _, it := range a.Items {
+		if expr.NeedsResolution(it.Expr) {
+			return false, "aggregate output needs per-run subquery/IN resolution"
+		}
+	}
+	if a.Having != nil && expr.NeedsResolution(a.Having) {
+		return false, "HAVING needs per-run subquery/IN resolution"
+	}
+	// Representative-row rule: outside aggregate arguments, output and
+	// HAVING expressions may only read columns that are themselves grouping
+	// keys — those are constant across the group, so any retained
+	// representative row is as good as the one a recompute would pick.
+	groupCols := map[string]bool{}
+	for _, g := range a.GroupBy {
+		if c, ok := g.(*expr.Column); ok {
+			groupCols[colKey(c)] = true
+		}
+	}
+	check := func(e expr.Expr) (bool, string) {
+		ok, offender := true, ""
+		expr.Walk(e, func(x expr.Expr) bool {
+			switch c := x.(type) {
+			case *expr.Agg:
+				return false // argument columns are maintained per delta row
+			case *expr.Column:
+				if !groupCols[colKey(c)] {
+					ok, offender = false, c.String()
+					return false
+				}
+			}
+			return ok
+		})
+		return ok, offender
+	}
+	for _, it := range a.Items {
+		if ok, col := check(it.Expr); !ok {
+			return false, fmt.Sprintf("aggregate output reads non-grouping column %s", col)
+		}
+	}
+	if a.Having != nil {
+		if ok, col := check(a.Having); !ok {
+			return false, fmt.Sprintf("HAVING reads non-grouping column %s", col)
+		}
+	}
+	return DeltaSafety(a.Child)
+}
+
+func colKey(c *expr.Column) string {
+	return strings.ToLower(c.Qualifier) + "\x00" + strings.ToLower(c.Name)
+}

@@ -1,0 +1,56 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func TestDeltaSafety(t *testing.T) {
+	cases := []struct {
+		sql    string
+		safe   bool
+		reason string // substring of the expected reason when unsafe
+	}{
+		{sql: "SELECT id, k FROM Big WHERE k > 2", safe: true},
+		{sql: "SELECT b.id, s.name FROM Big AS b, Small AS s WHERE b.k = s.k", safe: true},
+		{sql: "SELECT k, count(*) AS n, sum(id) AS s FROM Big GROUP BY k", safe: true},
+		{sql: "SELECT DISTINCT k FROM Big", safe: true},
+		{sql: "SELECT k FROM Big UNION SELECT k FROM Small", safe: true},
+		{sql: "SELECT k FROM Big UNION ALL SELECT k FROM Small", safe: true},
+		{sql: "SELECT k FROM Big MINUS SELECT k FROM Small", safe: true},
+		{sql: "SELECT k FROM Big INTERSECT SELECT k FROM Small", safe: true},
+		{sql: "SELECT k, count(*) AS n FROM Big GROUP BY k HAVING count(*) > 3", safe: true},
+
+		{sql: "SELECT id FROM Big ORDER BY id", safe: false, reason: "order-sensitive"},
+		{sql: "SELECT id FROM Big LIMIT 3", safe: false, reason: "order-sensitive"},
+		{sql: "SELECT id FROM Big@vnow-1", safe: false, reason: "version history"},
+		{sql: "SELECT id FROM Big@tnow-1", safe: false, reason: "version history"},
+		{sql: "SELECT id FROM Big WHERE k = (SELECT max(k) FROM Small)", safe: false, reason: "resolution"},
+		{sql: "SELECT id FROM Big WHERE k IN Small", safe: false, reason: "resolution"},
+	}
+	for _, tc := range cases {
+		n := build(t, tc.sql)
+		ok, why := DeltaSafety(n)
+		if ok != tc.safe {
+			t.Errorf("DeltaSafety(%q) = %v (%s), want %v", tc.sql, ok, why, tc.safe)
+			continue
+		}
+		if !ok && !strings.Contains(why, tc.reason) {
+			t.Errorf("DeltaSafety(%q) reason = %q, want substring %q", tc.sql, why, tc.reason)
+		}
+	}
+}
+
+func TestDeltaSafetySurvivesOptimize(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT b.id, s.name FROM Big AS b, Small AS s WHERE b.k = s.k AND b.id > 10",
+		"SELECT k, sum(id) AS s FROM Big WHERE id < 50 GROUP BY k",
+	} {
+		n := Optimize(build(t, sql), expr.NewRegistry())
+		if ok, why := DeltaSafety(n); !ok {
+			t.Errorf("optimized %q not delta-safe: %s", sql, why)
+		}
+	}
+}

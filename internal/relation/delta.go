@@ -1,0 +1,186 @@
+package relation
+
+// Deltas are the currency of incremental view maintenance: instead of
+// recomputing a view from scratch when an input changes, the engine ships
+// the change itself — a multiset of inserted and deleted tuples — through a
+// stateful operator pipeline (internal/exec) and applies the resulting
+// output delta to the materialized view. Equivalence is the canonical
+// hashing equivalence of Tuple.Hash/Tuple.Equal, the same one the
+// executor's hash operators use.
+
+import "fmt"
+
+// Delta is a bag-semantics change to a relation: Ins tuples are added and
+// Del tuples are removed (one occurrence per entry). A tuple may appear
+// multiple times in either list; Consolidate cancels matching pairs.
+type Delta struct {
+	Ins []Tuple
+	Del []Tuple
+}
+
+// Empty reports whether the delta changes nothing.
+func (d Delta) Empty() bool { return len(d.Ins) == 0 && len(d.Del) == 0 }
+
+// Len returns the total number of change rows carried.
+func (d Delta) Len() int { return len(d.Ins) + len(d.Del) }
+
+// String summarizes the delta for logs and errors.
+func (d Delta) String() string {
+	return fmt.Sprintf("Δ(+%d -%d)", len(d.Ins), len(d.Del))
+}
+
+// Consolidate cancels insert/delete pairs of equal tuples, returning the
+// net delta. The engine uses it at mutation sites that clear-and-refill
+// relations (compound event tables), so an unchanged row does not ripple
+// through the dataflow as a delete plus an insert.
+func (d Delta) Consolidate() Delta {
+	if len(d.Ins) == 0 || len(d.Del) == 0 {
+		return d
+	}
+	return cancel(d.Del, d.Ins)
+}
+
+// cancel nets adds against removes: the result's Ins are add rows with no
+// matching remove, its Del the remaining unmatched removes. Shared by
+// Consolidate (removes = Del, adds = Ins) and Diff (removes = old rows,
+// adds = new rows).
+func cancel(removes, adds []Tuple) Delta {
+	bag := NewTupleBag(len(removes))
+	for _, t := range removes {
+		bag.Add(t, 1)
+	}
+	out := Delta{}
+	for _, t := range adds {
+		if bag.Add(t, -1) >= 0 {
+			continue // cancelled against one remove
+		}
+		bag.Add(t, 1) // restore to zero; genuinely new
+		out.Ins = append(out.Ins, t)
+	}
+	bag.Each(func(t Tuple, n int64) {
+		for ; n > 0; n-- {
+			out.Del = append(out.Del, t)
+		}
+	})
+	return out
+}
+
+// TupleBag is a counting multiset of tuples under the canonical hashing
+// equivalence. Counts may go negative (useful for symmetric difference);
+// the first tuple seen for an equivalence class is kept as its canonical
+// representative.
+type TupleBag struct {
+	buckets map[uint64][]int32
+	keys    []Tuple
+	counts  []int64
+}
+
+// NewTupleBag creates a bag sized for roughly capacity distinct tuples.
+func NewTupleBag(capacity int) *TupleBag {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &TupleBag{
+		buckets: make(map[uint64][]int32, capacity),
+		keys:    make([]Tuple, 0, capacity),
+		counts:  make([]int64, 0, capacity),
+	}
+}
+
+func (b *TupleBag) id(t Tuple, insert bool) int32 {
+	h := t.Hash()
+	for _, id := range b.buckets[h] {
+		if b.keys[id].Equal(t) {
+			return id
+		}
+	}
+	if !insert {
+		return -1
+	}
+	id := int32(len(b.keys))
+	b.keys = append(b.keys, t)
+	b.counts = append(b.counts, 0)
+	b.buckets[h] = append(b.buckets[h], id)
+	return id
+}
+
+// Add adjusts the tuple's count by n and returns the new count.
+func (b *TupleBag) Add(t Tuple, n int64) int64 {
+	id := b.id(t, true)
+	b.counts[id] += n
+	return b.counts[id]
+}
+
+// Count returns the tuple's current count (0 if never seen).
+func (b *TupleBag) Count(t Tuple) int64 {
+	id := b.id(t, false)
+	if id < 0 {
+		return 0
+	}
+	return b.counts[id]
+}
+
+// Each visits every equivalence class with a non-zero count, in first-seen
+// order.
+func (b *TupleBag) Each(fn func(t Tuple, n int64)) {
+	for id, t := range b.keys {
+		if b.counts[id] != 0 {
+			fn(t, b.counts[id])
+		}
+	}
+}
+
+// Diff computes the delta transforming old into new under bag semantics:
+// applying the result to old yields a bag equal to new. Cost is
+// O(len(old)+len(new)) tuple hashes — proportional to the relation sizes,
+// which is why the engine prefers pipeline-propagated deltas and uses Diff
+// only to derive deltas for views that fell back to full recomputation.
+func Diff(old, new *Relation) Delta {
+	return cancel(old.Rows, new.Rows)
+}
+
+// ApplyDelta applies d to the relation in place: each Del entry removes the
+// earliest matching occurrence, Ins rows append at the end (so rows that do
+// not change keep their relative paint order for render sinks). The update
+// is atomic: an unmatched delete or an arity mismatch leaves the relation
+// untouched and returns an error, letting callers fall back to full
+// recomputation with consistent state.
+func (r *Relation) ApplyDelta(d Delta) error {
+	arity := r.Schema.Len()
+	for _, t := range d.Ins {
+		if len(t) != arity {
+			return fmt.Errorf("relation %s: delta insert arity %d does not match schema arity %d", r.Name, len(t), arity)
+		}
+	}
+	if len(d.Del) == 0 {
+		r.Rows = append(r.Rows, d.Ins...)
+		return nil
+	}
+	for _, t := range d.Del {
+		if len(t) != arity {
+			return fmt.Errorf("relation %s: delta delete arity %d does not match schema arity %d", r.Name, len(t), arity)
+		}
+	}
+	if len(d.Del) > len(r.Rows) {
+		return fmt.Errorf("relation %s: delta deletes %d rows but only %d exist", r.Name, len(d.Del), len(r.Rows))
+	}
+	bag := NewTupleBag(len(d.Del))
+	for _, t := range d.Del {
+		bag.Add(t, 1)
+	}
+	remaining := len(d.Del)
+	kept := make([]Tuple, 0, len(r.Rows)-len(d.Del)+len(d.Ins))
+	for _, t := range r.Rows {
+		if remaining > 0 && bag.Count(t) > 0 {
+			bag.Add(t, -1)
+			remaining--
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if remaining > 0 {
+		return fmt.Errorf("relation %s: delta deletes %d rows not present", r.Name, remaining)
+	}
+	r.Rows = append(kept, d.Ins...)
+	return nil
+}

@@ -1,0 +1,138 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func deltaRow(vals ...int64) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = Int(v)
+	}
+	return t
+}
+
+func deltaSchema() Schema {
+	return NewSchema(Col("a", KindInt), Col("b", KindInt))
+}
+
+func TestDiffAndApplyRoundTrip(t *testing.T) {
+	old := New("r", deltaSchema())
+	old.Rows = []Tuple{deltaRow(1, 1), deltaRow(1, 1), deltaRow(2, 2), deltaRow(3, 3)}
+	upd := New("r", deltaSchema())
+	upd.Rows = []Tuple{deltaRow(1, 1), deltaRow(4, 4), deltaRow(2, 2), deltaRow(2, 2)}
+
+	d := Diff(old, upd)
+	if len(d.Ins) != 2 || len(d.Del) != 2 {
+		t.Fatalf("diff = %s, want +2 -2", d)
+	}
+	if err := old.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(old, upd) {
+		t.Fatalf("apply(diff) diverges:\n%s\nvs\n%s", old, upd)
+	}
+}
+
+func TestDiffEmptyForEqualBags(t *testing.T) {
+	a := New("r", deltaSchema())
+	a.Rows = []Tuple{deltaRow(1, 2), deltaRow(3, 4), deltaRow(1, 2)}
+	b := New("r", deltaSchema())
+	b.Rows = []Tuple{deltaRow(3, 4), deltaRow(1, 2), deltaRow(1, 2)}
+	if d := Diff(a, b); !d.Empty() {
+		t.Fatalf("diff of equal bags = %s", d)
+	}
+}
+
+func TestApplyDeltaUnmatchedDeleteIsAtomic(t *testing.T) {
+	r := New("r", deltaSchema())
+	r.Rows = []Tuple{deltaRow(1, 1), deltaRow(2, 2)}
+	d := Delta{Ins: []Tuple{deltaRow(9, 9)}, Del: []Tuple{deltaRow(7, 7)}}
+	if err := r.ApplyDelta(d); err == nil {
+		t.Fatal("unmatched delete should error")
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("failed apply mutated the relation: %d rows", len(r.Rows))
+	}
+	// More deletes than rows must error gracefully, not panic on a
+	// negative capacity (the out-of-sync case the engine recovers from).
+	over := Delta{Del: []Tuple{deltaRow(1, 1), deltaRow(1, 1), deltaRow(2, 2)}}
+	if err := r.ApplyDelta(over); err == nil {
+		t.Fatal("oversized delete list should error")
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("failed apply mutated the relation: %d rows", len(r.Rows))
+	}
+}
+
+func TestApplyDeltaArityChecked(t *testing.T) {
+	r := New("r", deltaSchema())
+	r.Rows = []Tuple{deltaRow(1, 1)}
+	if err := r.ApplyDelta(Delta{Ins: []Tuple{deltaRow(1)}}); err == nil {
+		t.Fatal("short insert should error")
+	}
+	if err := r.ApplyDelta(Delta{Del: []Tuple{deltaRow(1, 1, 1)}}); err == nil {
+		t.Fatal("wide delete should error")
+	}
+}
+
+func TestApplyDeltaPreservesSurvivorOrder(t *testing.T) {
+	r := New("r", deltaSchema())
+	r.Rows = []Tuple{deltaRow(1, 1), deltaRow(2, 2), deltaRow(3, 3), deltaRow(2, 2)}
+	err := r.ApplyDelta(Delta{Del: []Tuple{deltaRow(2, 2)}, Ins: []Tuple{deltaRow(4, 4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tuple{deltaRow(1, 1), deltaRow(3, 3), deltaRow(2, 2), deltaRow(4, 4)}
+	if len(r.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(want))
+	}
+	for i := range want {
+		if !r.Rows[i].Equal(want[i]) {
+			t.Fatalf("row %d = %v, want %v (earliest occurrence should be removed)", i, r.Rows[i], want[i])
+		}
+	}
+}
+
+func TestConsolidateCancelsPairs(t *testing.T) {
+	d := Delta{
+		Ins: []Tuple{deltaRow(1, 1), deltaRow(2, 2), deltaRow(1, 1)},
+		Del: []Tuple{deltaRow(1, 1), deltaRow(3, 3)},
+	}
+	c := d.Consolidate()
+	if len(c.Ins) != 2 || len(c.Del) != 1 {
+		t.Fatalf("consolidated = %s, want +2 -1", c)
+	}
+	// Fully cancelling delta.
+	d2 := Delta{Ins: []Tuple{deltaRow(5, 5)}, Del: []Tuple{deltaRow(5, 5)}}
+	if c2 := d2.Consolidate(); !c2.Empty() {
+		t.Fatalf("self-cancelling delta = %s", c2)
+	}
+}
+
+func TestDiffApplyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		mk := func() *Relation {
+			r := New("r", deltaSchema())
+			n := rng.Intn(30)
+			for i := 0; i < n; i++ {
+				r.Rows = append(r.Rows, deltaRow(int64(rng.Intn(6)), int64(rng.Intn(4))))
+			}
+			return r
+		}
+		old, upd := mk(), mk()
+		d := Diff(old, upd)
+		cp := old.Snapshot()
+		if err := cp.ApplyDelta(d); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !Equal(cp, upd) {
+			t.Fatalf("trial %d: apply(diff) diverges", trial)
+		}
+		if Equal(old, upd) && !d.Empty() {
+			t.Fatalf("trial %d: equal bags produced non-empty diff %s", trial, d)
+		}
+	}
+}
