@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test bench bench-exec bench-engine bench-ivm bench-smoke
+.PHONY: check build vet test test-race bench bench-exec bench-engine bench-ivm bench-version bench-smoke
 
 check: build vet test
 
@@ -17,9 +17,13 @@ vet:
 test:
 	$(GO) test ./...
 
+# test-race is the CI data-race gate (vet runs there alongside it).
+test-race:
+	$(GO) test -race ./...
+
 # bench runs the executor microbenchmarks with allocation stats and writes
 # the experiment-series snapshot to BENCH_exec.json via cmd/dvms-bench.
-bench: bench-exec bench-engine bench-ivm
+bench: bench-exec bench-engine bench-ivm bench-version
 
 bench-exec:
 	$(GO) test ./internal/exec -run '^$$' -bench . -benchmem | tee BENCH_exec_micro.txt
@@ -36,10 +40,19 @@ bench-ivm:
 	$(GO) run ./cmd/dvms-bench -experiment ivm -n 100000 -format json > BENCH_ivm.json
 	@echo "wrote BENCH_ivm_micro.txt and BENCH_ivm.json"
 
+# bench-version records the version-history trajectory: MarkEvent cost under
+# the delta log vs the snapshot baseline at 10k/100k/1M rows (micro), plus
+# the long-drag engine measurement with versioning counters (BENCH_version.json).
+bench-version:
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkVersioning' -benchmem | tee BENCH_version_micro.txt
+	$(GO) run ./cmd/dvms-bench -experiment version -n 1000000 -format json > BENCH_version.json
+	@echo "wrote BENCH_version_micro.txt and BENCH_version.json"
+
 # bench-smoke is the short-form CI benchmark: proves the benchmark harness
 # runs end to end without committing CI minutes to full sizes.
 bench-smoke:
 	$(GO) run ./cmd/dvms-bench -experiment ivm -n 2000 -format json > /dev/null
 	$(GO) run ./cmd/dvms-bench -experiment a1 -n 300 -format json > /dev/null
+	$(GO) run ./cmd/dvms-bench -experiment version -n 2000 -format json > /dev/null
 	$(GO) test . -run '^$$' -bench 'BenchmarkIVMBrush/n10000$$/' -benchtime 1x > /dev/null
 	@echo "benchmark smoke OK"

@@ -172,3 +172,49 @@ func TestRecomputeAllStaysFullRecompute(t *testing.T) {
 		t.Fatalf("totals = %v", got)
 	}
 }
+
+// Float-measure parity (ROADMAP "float-sum exactness"): incremental SUM
+// over float columns must match a fresh recomputation exactly, even when
+// the add/remove order would drift under naive summation. The engine's
+// delta path must survive a large transient value entering and leaving a
+// group without perturbing the small residue.
+func TestDeltaFloatSumParityWithRecompute(t *testing.T) {
+	e := New(Config{})
+	if err := e.LoadProgram(`
+CREATE TABLE T (k int, v float);
+INSERT INTO T VALUES (1, 1.0), (2, 0.5);
+V = SELECT k AS k, sum(v) AS s FROM T GROUP BY k;
+`); err != nil {
+		t.Fatal(err)
+	}
+	big := []relation.Tuple{{relation.Int(1), relation.Float(1e16)}}
+	if err := e.InsertRows("T", big); err != nil {
+		t.Fatal(err)
+	}
+	applies := e.Stats.ViewDeltaApplies
+	if err := e.Exec("DELETE FROM T WHERE v > 1000000.0"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.ViewDeltaApplies <= applies {
+		t.Fatal("float SUM mutation should flow through the delta path")
+	}
+	v, err := e.Relation("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: recompute the same aggregate from scratch over live T.
+	want, err := e.Query("SELECT k AS k, sum(v) AS s FROM T GROUP BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(v, want) {
+		t.Fatalf("incremental float SUM diverges from recompute\nincremental:\n%s\nrecompute:\n%s", v, want)
+	}
+	for _, row := range v.Rows {
+		k, _ := row[0].AsInt()
+		s, _ := row[1].AsFloat()
+		if k == 1 && s != 1.0 {
+			t.Fatalf("group 1 sum = %v, want exactly 1 (naive summation loses the residue)", s)
+		}
+	}
+}

@@ -30,6 +30,9 @@ type Config struct {
 	// of recomputing lineage lazily. This is the eager arm of the A2
 	// ablation (§3.1 discusses why lazy usually wins).
 	EagerProvenance bool
+	// CheckpointEvery sets the commit interval between full version-log
+	// checkpoints (bounding @vnow reconstruction walks). Default 16.
+	CheckpointEvery int
 }
 
 // TxnEvent describes how one fed input event advanced the interaction
@@ -90,6 +93,11 @@ type Stats struct {
 	FullFallbacks    int
 	EmptyDeltaSkips  int
 	RenderSkips      int
+
+	// Versioning counts the storage manager's delta-log work (boundaries
+	// sealed, bytes checkpointed, versions reconstructed). The store writes
+	// these counters directly; resetting Stats resets them too.
+	Versioning VersioningStats
 }
 
 // New creates an engine with the given config.
@@ -108,6 +116,11 @@ func New(cfg Config) *Engine {
 		deps:  map[string][]string{},
 		img:   render.NewImage(cfg.Width, cfg.Height),
 	}
+	if cfg.CheckpointEvery > 0 {
+		e.store.checkpointEvery = cfg.CheckpointEvery
+	}
+	// The store counts its versioning work straight into the engine stats.
+	e.store.stats = &e.Stats.Versioning
 	return e
 }
 
@@ -238,6 +251,7 @@ func (e *Engine) execInsert(n *parser.InsertStmt) error {
 	if err := appendAll(target, rows); err != nil {
 		return err
 	}
+	e.store.recordChange(n.Table, relation.Delta{Ins: rows})
 	return e.refresh(changeSet(n.Table, &relation.Delta{Ins: rows}))
 }
 
@@ -271,6 +285,7 @@ func (e *Engine) InsertRows(table string, rows []relation.Tuple) error {
 	if err := appendAll(target, rows); err != nil {
 		return err
 	}
+	e.store.recordChange(table, relation.Delta{Ins: rows})
 	return e.refresh(changeSet(table, &relation.Delta{Ins: rows}))
 }
 
@@ -285,6 +300,7 @@ func (e *Engine) execDelete(n *parser.DeleteStmt) error {
 	if n.Where == nil {
 		removed := target.Rows
 		target.Rows = nil
+		e.store.recordChange(n.Table, relation.Delta{Del: removed})
 		return e.refresh(changeSet(n.Table, &relation.Delta{Del: removed}))
 	}
 	env := &tupleEnv{schema: target.Schema}
@@ -304,6 +320,7 @@ func (e *Engine) execDelete(n *parser.DeleteStmt) error {
 		}
 	}
 	target.Rows = kept
+	e.store.recordChange(n.Table, relation.Delta{Del: removed})
 	return e.refresh(changeSet(n.Table, &relation.Delta{Del: removed}))
 }
 
@@ -401,8 +418,10 @@ func (e *Engine) defineView(stmt *parser.AssignStmt) error {
 	// against; they rebind lazily on their next recompute.
 	e.invalidatePlans()
 	// Materialize now (full recompute of this view and its dependents; the
-	// nil delta marks an unknown change, so dependents recompute too).
-	if err := e.recomputeView(v); err != nil {
+	// nil delta marks an unknown change, so dependents recompute too —
+	// their cached plans were just invalidated, which also forces them to
+	// re-prime). The store accounts the (re)definition inside recomputeView.
+	if _, err := e.recomputeView(v); err != nil {
 		return err
 	}
 	return e.refresh(changeSet(stmt.Name, nil))
@@ -452,7 +471,14 @@ func (e *Engine) invalidatePlans() {
 // provenance it also refreshes the view's lineage index. For delta-safe
 // views (normal operation), the recompute runs through the stateful
 // pipeline so the view is primed for delta application afterwards.
-func (e *Engine) recomputeView(v *view) error {
+//
+// The replacement is accounted to the store's delta log: the returned
+// delta is the old-vs-new diff, recorded so version boundaries stay
+// O(change). It is nil when the view had no previous contents (first
+// materialization, recorded as a creation) and in RecomputeAll mode, where
+// the oracle skips diffing and lets the store capture the fresh contents
+// at the next boundary instead.
+func (e *Engine) recomputeView(v *view) (*relation.Delta, error) {
 	e.Stats.ViewRecomputes++
 	var rel *relation.Relation
 	var err error
@@ -479,11 +505,29 @@ func (e *Engine) recomputeView(v *view) error {
 		}
 	}
 	if err != nil {
-		return fmt.Errorf("view %s: %w", v.name, err)
+		return nil, fmt.Errorf("view %s: %w", v.name, err)
 	}
 	rel.Name = v.name
-	e.store.Put(rel)
-	return nil
+	if e.cfg.RecomputeAll {
+		e.store.Put(rel)
+		return nil, nil
+	}
+	old, had := e.store.rels[keyOf(v.name)]
+	e.store.putQuiet(rel)
+	if !had {
+		return nil, nil // putQuiet noted the creation
+	}
+	if !old.Schema.Equal(rel.Schema) {
+		// A redefinition changed the view's schema: a tuple-level diff
+		// cannot represent that in the delta log (historical reads would
+		// pair old tuples with the new schema), so the boundary captures
+		// the full new contents as a per-relation reset instead.
+		e.store.recordUnknown(v.name)
+		return nil, nil
+	}
+	d := relation.Diff(old, rel)
+	e.store.recordChange(v.name, d)
+	return &d, nil
 }
 
 // refresh propagates changes through the view graph in topological order,
@@ -501,7 +545,7 @@ func (e *Engine) refresh(changes map[string]*relation.Delta) error {
 		// Ablation baseline and parity oracle: every view recomputes from
 		// scratch on every change, every refresh re-renders.
 		for _, name := range e.topo {
-			if err := e.recomputeView(e.views[strings.ToLower(name)]); err != nil {
+			if _, err := e.recomputeView(e.views[strings.ToLower(name)]); err != nil {
 				return err
 			}
 		}
@@ -523,22 +567,15 @@ func (e *Engine) refresh(changes map[string]*relation.Delta) error {
 			changes[k] = out
 			continue
 		}
-		// Full fallback: recompute, then diff old vs new so downstream
-		// views still receive a delta (and unchanged outputs short-circuit).
-		old, err := e.store.Get(v.name)
+		// Full fallback: recompute. recomputeView diffs old vs new while
+		// accounting the change to the version log, so downstream views
+		// still receive a delta (and unchanged outputs short-circuit).
+		d, err := e.recomputeView(v)
 		if err != nil {
-			return err
-		}
-		if err := e.recomputeView(v); err != nil {
 			return err
 		}
 		e.Stats.FullFallbacks++
-		cur, err := e.store.Get(v.name)
-		if err != nil {
-			return err
-		}
-		d := relation.Diff(old, cur)
-		changes[k] = &d
+		changes[k] = d
 	}
 	return e.renderIfDirty(changes)
 }
@@ -617,6 +654,7 @@ func (e *Engine) tryDelta(v *view, changes map[string]*relation.Delta) (out *rel
 		prep.ResetState()
 		return nil, false, nil
 	}
+	e.store.recordChange(v.name, od)
 	e.Stats.ViewDeltaApplies++
 	e.Stats.DeltaRowsIn += rowsIn
 	e.Stats.DeltaRowsOut += od.Len()
@@ -725,20 +763,25 @@ func (e *Engine) FeedEvent(ev events.Event) (TxnEvent, error) {
 		if acts.Began {
 			out.Began = true
 			// Each interaction starts from a fresh compound table; the old
-			// rows leave as deletes.
+			// rows leave as deletes. The clear is recorded before BeginTxn
+			// seals the begin boundary, so the transaction-begin state has
+			// the table empty (views catch up on the first refresh below),
+			// exactly as the snapshot store captured it.
 			cd.Del = ct.Rows
 			ct.Rows = nil
+			e.store.recordChange(rec.Name(), relation.Delta{Del: cd.Del})
 			e.store.BeginTxn()
 			e.activeTxn = rec.Name()
 		}
-		for _, row := range acts.Rows {
-			if err := ct.Append(row); err != nil {
-				return out, err
-			}
+		// Validate every row before appending any (like execInsert), so an
+		// arity error cannot leave live rows the delta log never recorded.
+		if err := appendAll(ct, acts.Rows); err != nil {
+			return out, err
 		}
 		cd.Ins = acts.Rows
 		out.RowsEmitted += len(acts.Rows)
 		if acts.Began || len(acts.Rows) > 0 {
+			e.store.recordChange(rec.Name(), relation.Delta{Ins: acts.Rows})
 			// Cancel delete/insert pairs so an interaction restart that
 			// reproduces existing rows does not ripple through the dataflow.
 			cd = cd.Consolidate()
@@ -800,7 +843,9 @@ func (e *Engine) abort(compound string) error {
 	if err != nil {
 		return err
 	}
+	removed := ct.Rows
 	ct.Rows = nil
+	e.store.recordChange(compound, relation.Delta{Del: removed})
 	// The rollback rewrote live contents without deltas; every delta
 	// pipeline is now stale and re-primes on its next recompute.
 	e.resetDeltaStates()

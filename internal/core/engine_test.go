@@ -486,3 +486,61 @@ func TestRepeatedInteractionsAccumulateVersions(t *testing.T) {
 		t.Fatalf("versions = %d, want %d", got, v0+3)
 	}
 }
+
+// A schema-changing view redefinition must not poison the delta log: the
+// store records it as a full reset, so historical reads keep the schema
+// (and values) the version actually had, and reads after the redefinition
+// see the new shape.
+func TestRedefinedViewSchemaInHistory(t *testing.T) {
+	e := New(Config{})
+	if err := e.LoadProgram(`
+CREATE TABLE T (a int, b int);
+INSERT INTO T VALUES (1, 10), (2, 20);
+V = SELECT a AS first, b AS second FROM T;
+`); err != nil {
+		t.Fatal(err)
+	}
+	// Redefine with swapped columns and different names, then commit.
+	if err := e.Exec("V = SELECT b AS big, a AS small FROM T"); err != nil {
+		t.Fatal(err)
+	}
+	e.Commit()
+
+	// The pre-redefinition version keeps the old schema and column order.
+	old, err := e.RelationAt("V", relation.VNow(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Schema.Index("", "first") != 0 || old.Schema.Index("", "big") >= 0 {
+		t.Fatalf("V@vnow-2 schema = %s, want the pre-redefinition columns", old.Schema)
+	}
+	firsts, err := old.Column("first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := int64(0)
+	for _, v := range firsts {
+		n, _ := v.AsInt()
+		sum += n
+	}
+	if sum != 3 { // a-values 1+2
+		t.Fatalf("V@vnow-2 first-column sum = %d, want 3", sum)
+	}
+	// The post-redefinition version carries the new schema.
+	now, err := e.RelationAt("V", relation.VNow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now.Schema.Index("", "big") != 0 {
+		t.Fatalf("V@vnow-1 schema = %s, want the redefined columns", now.Schema)
+	}
+	bigs, _ := now.Column("big")
+	sum = 0
+	for _, v := range bigs {
+		n, _ := v.AsInt()
+		sum += n
+	}
+	if sum != 30 { // b-values 10+20
+		t.Fatalf("V@vnow-1 big-column sum = %d, want 30", sum)
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+// Randomized delta-log vs snapshot-store parity: the acceptance criterion
+// of the delta-log refactor. A snapshot oracle replicating the pre-refactor
+// store (whole-database capture on every boundary, plus the restore-exact
+// fix) replays the same mutation stream as the real Store; after every
+// operation, every relation resolved at every reachable @vnow-i / @tnow-j
+// offset must be tuple-identical between the two — including after
+// rollback, undo via RestoreVersion, and history eviction with sparse
+// checkpoints.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// oracleSnap is one full-database capture of the oracle store.
+type oracleSnap struct {
+	rels  map[string]*relation.Relation
+	names []string
+}
+
+// oracleStore is the pre-refactor storage manager: shallow snapshots of
+// every relation at every commit and event mark.
+type oracleStore struct {
+	rels       map[string]*relation.Relation
+	names      []string
+	history    []oracleSnap
+	txnHist    []oracleSnap
+	inTxn      bool
+	maxHistory int
+}
+
+func newOracleStore(maxHistory int) *oracleStore {
+	return &oracleStore{rels: map[string]*relation.Relation{}, maxHistory: maxHistory}
+}
+
+func (o *oracleStore) put(rel *relation.Relation) {
+	k := keyOf(rel.Name)
+	if _, ok := o.rels[k]; !ok {
+		o.names = append(o.names, rel.Name)
+	}
+	o.rels[k] = rel
+}
+
+func (o *oracleStore) capture() oracleSnap {
+	s := oracleSnap{rels: make(map[string]*relation.Relation, len(o.rels)), names: append([]string(nil), o.names...)}
+	for k, r := range o.rels {
+		s.rels[k] = r.Snapshot()
+	}
+	return s
+}
+
+func (o *oracleStore) restore(s oracleSnap) {
+	o.rels = make(map[string]*relation.Relation, len(s.rels))
+	for k, r := range s.rels {
+		o.rels[k] = r.Snapshot()
+	}
+	o.names = append([]string(nil), s.names...)
+}
+
+func (o *oracleStore) commit() {
+	o.history = append(o.history, o.capture())
+	if len(o.history) > o.maxHistory {
+		o.history = append([]oracleSnap{}, o.history[len(o.history)-o.maxHistory:]...)
+	}
+	o.txnHist, o.inTxn = nil, false
+}
+
+func (o *oracleStore) beginTxn() {
+	o.txnHist = []oracleSnap{o.capture()}
+	o.inTxn = true
+}
+
+func (o *oracleStore) markEvent() {
+	if o.inTxn {
+		o.txnHist = append(o.txnHist, o.capture())
+	}
+}
+
+func (o *oracleStore) rollback() bool {
+	if len(o.history) == 0 {
+		return false
+	}
+	o.restore(o.history[len(o.history)-1])
+	o.txnHist, o.inTxn = nil, false
+	return true
+}
+
+func (o *oracleStore) restoreVersion(i int) bool {
+	idx := len(o.history) - i
+	if i < 1 || idx < 0 {
+		return false
+	}
+	o.restore(o.history[idx])
+	return true
+}
+
+func (o *oracleStore) resolve(name string, v relation.VersionRef) (*relation.Relation, error) {
+	get := func() (*relation.Relation, error) {
+		r, ok := o.rels[keyOf(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown relation %q", name)
+		}
+		return r, nil
+	}
+	fromSnap := func(s oracleSnap) (*relation.Relation, error) {
+		r, ok := s.rels[keyOf(name)]
+		if !ok {
+			return nil, fmt.Errorf("relation %q does not exist at version %s", name, v)
+		}
+		return r, nil
+	}
+	switch v.Kind {
+	case relation.VersionCurrent:
+		return get()
+	case relation.VersionVNow:
+		if v.Offset == 0 || len(o.history) == 0 {
+			return get()
+		}
+		idx := len(o.history) - v.Offset
+		if idx < 0 {
+			idx = 0
+		}
+		return fromSnap(o.history[idx])
+	case relation.VersionTNow:
+		if len(o.txnHist) == 0 || v.Offset == 0 {
+			return get()
+		}
+		idx := len(o.txnHist) - v.Offset
+		if idx < 0 {
+			idx = 0
+		}
+		return fromSnap(o.txnHist[idx])
+	default:
+		return nil, fmt.Errorf("unknown kind")
+	}
+}
+
+// storePair drives identical mutations through the delta-log store and the
+// snapshot oracle.
+type storePair struct {
+	s *Store
+	o *oracleStore
+}
+
+func (p *storePair) put(name string, schema relation.Schema, rows []relation.Tuple) {
+	mk := func() *relation.Relation {
+		r := relation.New(name, schema)
+		r.Rows = append([]relation.Tuple(nil), rows...)
+		return r
+	}
+	p.s.Put(mk())
+	p.o.put(mk())
+}
+
+func (p *storePair) insert(name string, rows []relation.Tuple) {
+	sr, _ := p.s.Get(name)
+	sr.Rows = append(sr.Rows, rows...)
+	p.s.recordChange(name, relation.Delta{Ins: rows})
+	or, _ := p.o.rels[keyOf(name)]
+	or.Rows = append(or.Rows, rows...)
+}
+
+// deleteVals removes the first occurrence of each tuple from both stores,
+// recording the delta on the real one.
+func (p *storePair) deleteVals(name string, del []relation.Tuple) {
+	remove := func(r *relation.Relation) []relation.Tuple {
+		removed := make([]relation.Tuple, 0, len(del))
+		for _, d := range del {
+			for i, row := range r.Rows {
+				if row.Equal(d) {
+					removed = append(removed, row)
+					r.Rows = append(r.Rows[:i:i], r.Rows[i+1:]...)
+					break
+				}
+			}
+		}
+		return removed
+	}
+	sr, _ := p.s.Get(name)
+	removed := remove(sr)
+	p.s.recordChange(name, relation.Delta{Del: removed})
+	or := p.o.rels[keyOf(name)]
+	remove(or)
+}
+
+// replace swaps a relation's contents wholesale (the host-API Put path the
+// engine's fallback recomputes exercise): the real store sees an unknown
+// change and must reset-capture it at the next boundary.
+func (p *storePair) replace(name string, rows []relation.Tuple) {
+	mkRel := func(old *relation.Relation) *relation.Relation {
+		r := relation.New(old.Name, old.Schema)
+		r.Rows = append([]relation.Tuple(nil), rows...)
+		return r
+	}
+	sr, _ := p.s.Get(name)
+	p.s.Put(mkRel(sr))
+	or := p.o.rels[keyOf(name)]
+	p.o.put(mkRel(or))
+}
+
+func intSchema() relation.Schema {
+	return relation.NewSchema(relation.Col("a", relation.KindInt), relation.Col("b", relation.KindInt))
+}
+
+func randRows(rng *rand.Rand, n int) []relation.Tuple {
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		out[i] = relation.Tuple{relation.Int(int64(rng.Intn(8))), relation.Int(int64(rng.Intn(1000)))}
+	}
+	return out
+}
+
+func assertStoreParity(t *testing.T, step string, p *storePair) {
+	t.Helper()
+	if sv, ov := p.s.Versions(), len(p.o.history); sv != ov {
+		t.Fatalf("%s: versions diverge: store %d vs oracle %d", step, sv, ov)
+	}
+	names := map[string]bool{}
+	for _, n := range p.s.Names() {
+		names[n] = true
+	}
+	for _, n := range p.o.names {
+		names[n] = true
+	}
+	var refs []relation.VersionRef
+	refs = append(refs, relation.Current())
+	// Every reachable committed offset plus one past the clamp boundary.
+	for i := 0; i <= len(p.o.history)+1; i++ {
+		refs = append(refs, relation.VNow(i))
+	}
+	for j := 0; j <= len(p.o.txnHist)+1; j++ {
+		refs = append(refs, relation.TNow(j))
+	}
+	for name := range names {
+		for _, ref := range refs {
+			or, oerr := p.o.resolve(name, ref)
+			sr, serr := p.s.Resolve(name, ref)
+			if (oerr == nil) != (serr == nil) {
+				t.Fatalf("%s: %s%s error mismatch: store=%v oracle=%v", step, name, ref, serr, oerr)
+			}
+			if oerr != nil {
+				continue
+			}
+			if !relation.Equal(sr, or) {
+				sc, oc := sr.Clone(), or.Clone()
+				sc.SortDeterministic()
+				oc.SortDeterministic()
+				t.Fatalf("%s: %s%s diverges\nstore:\n%s\noracle:\n%s", step, name, ref, sc, oc)
+			}
+		}
+	}
+}
+
+func TestDeltaLogVsSnapshotStoreParity(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			maxHist := 2 + rng.Intn(4)
+			p := &storePair{s: NewStore(maxHist), o: newOracleStore(maxHist)}
+			// Tight checkpoint cadence so eviction, trimming, and forward
+			// walks all trigger within a short stream.
+			p.s.checkpointEvery = 1 + rng.Intn(4)
+
+			p.put("T", intSchema(), randRows(rng, 5))
+			p.put("U", intSchema(), randRows(rng, 3))
+			p.s.Commit()
+			p.o.commit()
+			assertStoreParity(t, "init", p)
+
+			tables := []string{"T", "U"}
+			created := 0
+			for op := 0; op < 300; op++ {
+				step := fmt.Sprintf("seed %d op %d", seed, op)
+				name := tables[rng.Intn(len(tables))]
+				switch k := rng.Intn(20); {
+				case k < 7: // insert
+					p.insert(name, randRows(rng, 1+rng.Intn(3)))
+				case k < 10: // delete values that exist (drawn from the oracle)
+					or := p.o.rels[keyOf(name)]
+					if len(or.Rows) > 0 {
+						del := make([]relation.Tuple, 0, 2)
+						for i := 0; i < 1+rng.Intn(2); i++ {
+							del = append(del, or.Rows[rng.Intn(len(or.Rows))])
+						}
+						p.deleteVals(name, del)
+					}
+				case k < 11: // wholesale replace (unknown change)
+					p.replace(name, randRows(rng, rng.Intn(5)))
+				case k < 12: // create a fresh relation mid-stream
+					created++
+					nm := fmt.Sprintf("N%d", created)
+					p.put(nm, intSchema(), randRows(rng, rng.Intn(3)))
+					tables = append(tables, nm)
+				case k < 14:
+					p.s.BeginTxn()
+					p.o.beginTxn()
+				case k < 17:
+					p.s.MarkEvent()
+					p.o.markEvent()
+				case k < 18:
+					p.s.Commit()
+					p.o.commit()
+				case k < 19: // rollback (only when a commit exists; always does)
+					serr := p.s.Rollback()
+					if !p.o.rollback() {
+						t.Fatalf("%s: oracle rollback failed", step)
+					}
+					if serr != nil {
+						t.Fatalf("%s: store rollback: %v", step, serr)
+					}
+					// Rollback deletes relations created after the commit;
+					// drop vanished tables from the mutation pool.
+					tables = tables[:0]
+					for _, nm := range p.s.Names() {
+						tables = append(tables, nm)
+					}
+				default: // undo/redo via RestoreVersion
+					off := 1 + rng.Intn(p.o.maxHistory+1)
+					ook := p.o.restoreVersion(off)
+					serr := p.s.RestoreVersion(off)
+					if ook != (serr == nil) {
+						t.Fatalf("%s: restore(%d) mismatch: store err=%v oracle ok=%v", step, off, serr, ook)
+					}
+					if ook {
+						tables = tables[:0]
+						for _, nm := range p.s.Names() {
+							tables = append(tables, nm)
+						}
+					}
+				}
+				assertStoreParity(t, step, p)
+			}
+		})
+	}
+}

@@ -15,15 +15,30 @@ func intRel(name string, vals ...int64) *relation.Relation {
 	return r
 }
 
+// appendRecorded mutates a relation the way the engine does: the physical
+// append plus a recorded delta, which is what lets Commit/MarkEvent seal
+// O(delta) boundaries instead of snapshotting the database.
+func appendRecorded(s *Store, name string, vals ...int64) {
+	rel, err := s.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	var ins []relation.Tuple
+	for _, v := range vals {
+		t := relation.Tuple{relation.Int(v)}
+		rel.MustAppend(t)
+		ins = append(ins, t)
+	}
+	s.recordChange(name, relation.Delta{Ins: ins})
+}
+
 func TestStoreVersioning(t *testing.T) {
 	s := NewStore(8)
 	s.Put(intRel("T", 1))
 	s.Commit() // version 0: T = {1}
-	rel, _ := s.Get("T")
-	rel.MustAppend(relation.Tuple{relation.Int(2)})
+	appendRecorded(s, "T", 2)
 	s.Commit() // version 1: T = {1,2}
-	rel, _ = s.Get("T")
-	rel.MustAppend(relation.Tuple{relation.Int(3)})
+	appendRecorded(s, "T", 3)
 	// live: {1,2,3}; vnow-1: {1,2}; vnow-2: {1}
 	cur, err := s.Resolve("T", relation.Current())
 	if err != nil || cur.Len() != 3 {
@@ -42,7 +57,7 @@ func TestStoreVersioning(t *testing.T) {
 	if err != nil || v0.Len() != 3 {
 		t.Fatalf("vnow-0 = %v, %v", v0.Len(), err)
 	}
-	// deeper than history: clamps to oldest snapshot
+	// deeper than history: clamps to oldest retained version
 	v9, err := s.Resolve("T", relation.VNow(9))
 	if err != nil || v9.Len() != 1 {
 		t.Fatalf("vnow-9 = %v, %v", v9.Len(), err)
@@ -54,10 +69,9 @@ func TestStoreTnowSnapshots(t *testing.T) {
 	s.Put(intRel("T", 1))
 	s.Commit()
 	s.BeginTxn() // tnow history starts: state {1}
-	rel, _ := s.Get("T")
-	rel.MustAppend(relation.Tuple{relation.Int(2)})
+	appendRecorded(s, "T", 2)
 	s.MarkEvent() // after event 1: {1,2}
-	rel.MustAppend(relation.Tuple{relation.Int(3)})
+	appendRecorded(s, "T", 3)
 	s.MarkEvent() // after event 2: {1,2,3}
 
 	// tnow-0 is the live state; with both events marked, tnow-1 is the
@@ -81,8 +95,7 @@ func TestStoreTnowSnapshots(t *testing.T) {
 	}
 	// Mid-event view of the same semantics: before MarkEvent of a third
 	// event, tnow-1 is the state after the second.
-	rel, _ = s.Get("T")
-	rel.MustAppend(relation.Tuple{relation.Int(4)})
+	appendRecorded(s, "T", 4)
 	mid, _ := s.Resolve("T", relation.TNow(1))
 	if mid.Len() != 3 {
 		t.Fatalf("mid-event tnow-1 = %d, want 3", mid.Len())
@@ -101,8 +114,7 @@ func TestStoreRollback(t *testing.T) {
 	s.Put(intRel("T", 1))
 	s.Commit()
 	s.BeginTxn()
-	rel, _ := s.Get("T")
-	rel.MustAppend(relation.Tuple{relation.Int(2)})
+	appendRecorded(s, "T", 2)
 	s.MarkEvent()
 	if err := s.Rollback(); err != nil {
 		t.Fatal(err)
@@ -116,12 +128,77 @@ func TestStoreRollback(t *testing.T) {
 	}
 }
 
+// Regression (delta-log satellite): a rollback must delete relations
+// created after the restored version, and a deeper restore followed by a
+// shallower one must revive them — restore is exact in both directions.
+func TestStoreRestoreDeletesCreatedRelations(t *testing.T) {
+	s := NewStore(8)
+	s.Put(intRel("T", 1))
+	s.Commit() // v0: only T
+	s.Put(intRel("U", 7))
+	appendRecorded(s, "T", 2)
+	s.Commit() // v1: T={1,2}, U={7}
+
+	if err := s.RestoreVersion(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("U") {
+		t.Fatal("restore to v0 should delete U (created at v1)")
+	}
+	if cur, _ := s.Get("T"); cur.Len() != 1 {
+		t.Fatalf("restored T = %d rows, want 1", cur.Len())
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "T" {
+		t.Fatalf("restored names = %v", names)
+	}
+
+	// Redo: a shallower restore revives U with its committed contents.
+	if err := s.RestoreVersion(1); err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.Get("U")
+	if err != nil || u.Len() != 1 {
+		t.Fatalf("revived U = %v, %v", u, err)
+	}
+	if cur, _ := s.Get("T"); cur.Len() != 2 {
+		t.Fatalf("redo T = %d rows, want 2", cur.Len())
+	}
+
+	// Rollback after creating a relation mid-window deletes it too.
+	s.Commit()
+	s.Put(intRel("W", 9))
+	s.BeginTxn()
+	s.MarkEvent()
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("W") {
+		t.Fatal("rollback should delete W (created after the last commit)")
+	}
+}
+
+// Resolving a relation at a version before its creation errors, exactly as
+// a missing relation in a snapshot did.
+func TestStoreResolveBeforeCreation(t *testing.T) {
+	s := NewStore(8)
+	s.Put(intRel("T", 1))
+	s.Commit() // v0
+	s.Put(intRel("U", 7))
+	s.Commit() // v1
+	if _, err := s.Resolve("U", relation.VNow(2)); err == nil {
+		t.Fatal("U@vnow-2 predates U's creation and should error")
+	}
+	u, err := s.Resolve("U", relation.VNow(1))
+	if err != nil || u.Len() != 1 {
+		t.Fatalf("U@vnow-1 = %v, %v", u, err)
+	}
+}
+
 func TestStoreHistoryEviction(t *testing.T) {
 	s := NewStore(3)
 	s.Put(intRel("T"))
 	for i := 0; i < 10; i++ {
-		rel, _ := s.Get("T")
-		rel.MustAppend(relation.Tuple{relation.Int(int64(i))})
+		appendRecorded(s, "T", int64(i))
 		s.Commit()
 	}
 	if s.Versions() != 3 {
@@ -137,17 +214,52 @@ func TestStoreHistoryEviction(t *testing.T) {
 	}
 }
 
-// Property: snapshot/restore round trip — after any sequence of appends and
-// a rollback, the store matches the committed state.
+// Eviction must never orphan deltas a retained version still reconstructs
+// through: the log is trimmed only up to a checkpoint at or before the
+// oldest retained commit (delta-log satellite). Exercised across
+// checkpoint cadences that divide, exceed, and interleave with the history
+// bound, resolving and restoring every retained version after each commit.
+func TestStoreEvictionKeepsCheckpointAnchors(t *testing.T) {
+	for _, every := range []int{1, 2, 3, 5, 7} {
+		s := NewStore(3)
+		s.checkpointEvery = every
+		s.Put(intRel("T"))
+		for i := 0; i < 25; i++ {
+			appendRecorded(s, "T", int64(i))
+			s.Commit() // version i: T has i+1 rows
+			for off := 1; off <= s.Versions(); off++ {
+				want := (i + 1) - (off - 1) // rows at vnow-off
+				got, err := s.Resolve("T", relation.VNow(off))
+				if err != nil {
+					t.Fatalf("every=%d commit=%d vnow-%d: %v", every, i, off, err)
+				}
+				if got.Len() != want {
+					t.Fatalf("every=%d commit=%d vnow-%d = %d rows, want %d",
+						every, i, off, got.Len(), want)
+				}
+			}
+		}
+		// RestoreVersion to the oldest retained version after heavy
+		// eviction must reconstruct exactly.
+		if err := s.RestoreVersion(3); err != nil {
+			t.Fatalf("every=%d: %v", every, err)
+		}
+		if cur, _ := s.Get("T"); cur.Len() != 23 {
+			t.Fatalf("every=%d restored rows = %d, want 23", every, cur.Len())
+		}
+	}
+}
+
+// Property: delta-log rollback round trip — after any sequence of recorded
+// appends and a rollback, the store matches the committed state.
 func TestStoreRollbackProperty(t *testing.T) {
 	f := func(initial []int64, txn []int64) bool {
 		s := NewStore(4)
 		s.Put(intRel("T", initial...))
 		s.Commit()
 		s.BeginTxn()
-		rel, _ := s.Get("T")
 		for _, v := range txn {
-			rel.MustAppend(relation.Tuple{relation.Int(v)})
+			appendRecorded(s, "T", v)
 			s.MarkEvent()
 		}
 		if err := s.Rollback(); err != nil {
@@ -165,8 +277,7 @@ func TestRestoreVersionForUndo(t *testing.T) {
 	s := NewStore(8)
 	s.Put(intRel("T", 1))
 	s.Commit() // v0
-	rel, _ := s.Get("T")
-	rel.MustAppend(relation.Tuple{relation.Int(2)})
+	appendRecorded(s, "T", 2)
 	s.Commit() // v1
 	if err := s.RestoreVersion(2); err != nil {
 		t.Fatal(err)
@@ -187,11 +298,9 @@ func TestShiftedCatalog(t *testing.T) {
 	s := NewStore(8)
 	s.Put(intRel("T", 1))
 	s.Commit() // v… T={1}
-	rel, _ := s.Get("T")
-	rel.MustAppend(relation.Tuple{relation.Int(2)})
+	appendRecorded(s, "T", 2)
 	s.Commit() // T={1,2}
-	rel, _ = s.Get("T")
-	rel.MustAppend(relation.Tuple{relation.Int(3)})
+	appendRecorded(s, "T", 3)
 
 	cat := s.CatalogAt(1) // as of last commit
 	r, err := cat.Resolve("T", relation.Current())
@@ -201,5 +310,65 @@ func TestShiftedCatalog(t *testing.T) {
 	r, err = cat.Resolve("T", relation.VNow(1))
 	if err != nil || r.Len() != 1 {
 		t.Fatalf("shifted vnow-1 = %v, %v", r.Len(), err)
+	}
+}
+
+// The reconstruction cache serves repeated reads of one version without
+// re-walking the log, and the versioning counters record the work.
+func TestStoreReconstructionCacheAndStats(t *testing.T) {
+	s := NewStore(8)
+	s.Put(intRel("T", 1))
+	s.Commit()
+	appendRecorded(s, "T", 2)
+	s.Commit()
+	appendRecorded(s, "T", 3)
+
+	before := s.Stats()
+	a, err := s.Resolve("T", relation.VNow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Resolve("T", relation.VNow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("repeated resolution of one version should share the cached object")
+	}
+	after := s.Stats()
+	if after.Reconstructions != before.Reconstructions+1 {
+		t.Fatalf("reconstructions = %d, want %d", after.Reconstructions, before.Reconstructions+1)
+	}
+	if after.CacheHits != before.CacheHits+1 {
+		t.Fatalf("cache hits = %d, want %d", after.CacheHits, before.CacheHits+1)
+	}
+	if after.DeltaLogEvents < 2 {
+		t.Fatalf("delta log events = %d, want >= 2", after.DeltaLogEvents)
+	}
+}
+
+// Commit compacts the finished transaction's event boundaries: a long drag
+// leaves one log entry per commit window, not one per event, and the
+// committed version still resolves exactly.
+func TestCommitCompactsEventBoundaries(t *testing.T) {
+	s := NewStore(8)
+	s.Put(intRel("T", 1))
+	s.Commit()
+	s.BeginTxn()
+	for i := 0; i < 50; i++ {
+		appendRecorded(s, "T", int64(i))
+		s.MarkEvent()
+	}
+	s.Commit()
+	if got := len(s.entries); got > 3 {
+		t.Fatalf("log holds %d entries after compaction, want <= 3", got)
+	}
+	v1, err := s.Resolve("T", relation.VNow(1))
+	if err != nil || v1.Len() != 51 {
+		t.Fatalf("vnow-1 = %v, %v (want 51 rows)", v1.Len(), err)
+	}
+	v2, err := s.Resolve("T", relation.VNow(2))
+	if err != nil || v2.Len() != 1 {
+		t.Fatalf("vnow-2 = %v, %v (want 1 row)", v2.Len(), err)
 	}
 }

@@ -157,7 +157,11 @@ func (e *Engine) traceToTarget(name string, shift int, rows []int, target string
 }
 
 // viewLineage computes (or fetches, under eager provenance) the row-level
-// lineage of a view evaluated at vnow-shift.
+// lineage of a view evaluated at vnow-shift. The lineage array is aligned
+// to the row order of the materialized relation at that shift: delta
+// patching (live) and log reconstruction (history) preserve a view's bag
+// of tuples but not necessarily the physical order a fresh evaluation
+// produces, so rows are matched by tuple identity.
 func (e *Engine) viewLineage(v *view, shift int) ([]exec.Lineage, error) {
 	if shift == 0 && v.lin != nil {
 		return v.lin, nil // eager index maintained at recompute time
@@ -165,12 +169,46 @@ func (e *Engine) viewLineage(v *view, shift int) ([]exec.Lineage, error) {
 	if v.isTrace {
 		return e.traceViewLineage(v, shift)
 	}
-	ex := &exec.Executor{Cat: e.store.CatalogAt(shift), Funcs: e.funcs, CaptureLineage: true}
+	cat := e.store.CatalogAt(shift)
+	ex := &exec.Executor{Cat: cat, Funcs: e.funcs, CaptureLineage: true}
 	res, err := ex.RunQuery(v.query)
 	if err != nil {
 		return nil, fmt.Errorf("lineage of %s at vnow-%d: %w", v.name, shift, err)
 	}
-	return res.Lin, nil
+	rel, err := cat.Resolve(v.name, relation.Current())
+	if err != nil {
+		return res.Lin, nil // view not materialized at this shift: best effort
+	}
+	return alignLineage(rel, res.Rel, res.Lin), nil
+}
+
+// alignLineage reorders per-row lineage computed by re-running a view's
+// query so it indexes like the materialized relation callers hold row
+// indices into. Matching is by canonical tuple key; equal tuples are
+// paired greedily (their lineages are interchangeable at bag level).
+func alignLineage(target, run *relation.Relation, lin []exec.Lineage) []exec.Lineage {
+	if len(lin) == 0 {
+		return lin
+	}
+	byKey := make(map[string][]int, len(run.Rows))
+	for i, row := range run.Rows {
+		k := row.Key()
+		byKey[k] = append(byKey[k], i)
+	}
+	out := make([]exec.Lineage, len(target.Rows))
+	for i, row := range target.Rows {
+		k := row.Key()
+		lst := byKey[k]
+		if len(lst) == 0 {
+			continue // row missing from the re-run (stale state); no lineage
+		}
+		j := lst[0]
+		byKey[k] = lst[1:]
+		if j < len(lin) {
+			out[i] = lin[j]
+		}
+	}
+	return out
 }
 
 // traceViewLineage derives lineage for a TRACE view: its rows are by

@@ -215,3 +215,41 @@ func TestRunStatefulMatchesRunPrepared(t *testing.T) {
 		}
 	}
 }
+
+// TestKahanCompensatedFloatSum: the incremental aggregate state keeps a
+// Neumaier compensation term, so an add/remove sequence whose naive float
+// sum loses low bits still lands exactly on the recomputed value. The
+// sequence below is the classic catastrophic case: 1 + 1e16 - 1e16 = 0
+// under naive double summation.
+func TestKahanCompensatedFloatSum(t *testing.T) {
+	st := newDeltaAggState(false, false)
+	st.add(relation.Float(1.0))
+	st.add(relation.Float(1e16))
+	if err := st.remove(relation.Float(1e16)); err != nil {
+		t.Fatal(err)
+	}
+	got := st.result("sum", 1, false)
+	f, _ := got.AsFloat()
+	if f != 1.0 {
+		t.Fatalf("compensated sum = %v, want exactly 1", got)
+	}
+	// Many small magnitudes against a large one: compensation keeps the
+	// running sum exact after the large value leaves.
+	st2 := newDeltaAggState(false, false)
+	for i := 0; i < 100; i++ {
+		st2.add(relation.Float(0.125)) // exactly representable
+	}
+	st2.add(relation.Float(1e18))
+	if err := st2.remove(relation.Float(1e18)); err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := st2.result("sum", 100, false).AsFloat()
+	if f2 != 12.5 {
+		t.Fatalf("compensated sum = %v, want exactly 12.5", f2)
+	}
+	// avg reads the compensated sum too.
+	fa, _ := st2.result("avg", 100, false).AsFloat()
+	if fa != 0.125 {
+		t.Fatalf("compensated avg = %v, want exactly 0.125", fa)
+	}
+}

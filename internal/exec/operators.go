@@ -9,6 +9,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/expr"
@@ -267,10 +268,16 @@ func evalKeys(fns []expr.Compiled, raw []expr.Expr, key relation.Tuple, env *exp
 // distinct-value counts (vals) for DISTINCT semantics and for repairing
 // min/max after the current extremum is deleted.
 type aggState struct {
-	count    int64 // non-null values accumulated (after DISTINCT dedup)
-	sumF     float64
-	sumI     int64
-	nonInt   int64 // accumulated values not exactly representable as ints
+	count int64 // non-null values accumulated (after DISTINCT dedup)
+	// sumF carries the running float sum with a Neumaier (improved Kahan)
+	// compensation term sumC. Float addition is not associative, so the
+	// delta path's add/remove order would otherwise drift from a fresh
+	// recomputation's row-order sum in the low bits; the compensation
+	// recovers the lost bits on both paths (SUM reads sumF + sumC).
+	sumF   float64
+	sumC   float64
+	sumI   int64
+	nonInt int64 // accumulated values not exactly representable as ints
 	min, max relation.Value
 	// vals counts occurrences per canonical value. Allocated when the spec
 	// is DISTINCT (dedup) or when the caller asks for removal support.
@@ -311,7 +318,7 @@ func (st *aggState) add(v relation.Value) {
 	}
 	st.count++
 	if f, ok := v.AsFloat(); ok {
-		st.sumF += f
+		st.addFloat(f)
 		if v.Kind() == relation.KindInt {
 			n, _ := v.AsInt()
 			st.sumI += n
@@ -356,7 +363,7 @@ func (st *aggState) remove(v relation.Value) error {
 		return fmt.Errorf("aggregate state: count went negative")
 	}
 	if f, ok := v.AsFloat(); ok {
-		st.sumF -= f
+		st.addFloat(-f)
 		if v.Kind() == relation.KindInt {
 			n, _ := v.AsInt()
 			st.sumI -= n
@@ -367,8 +374,8 @@ func (st *aggState) remove(v relation.Value) error {
 		st.nonInt--
 	}
 	if st.count == 0 {
-		// Exact reset: clears float drift for emptied groups.
-		st.sumF, st.sumI, st.nonInt = 0, 0, 0
+		// Exact reset: clears any residual float error for emptied groups.
+		st.sumF, st.sumC, st.sumI, st.nonInt = 0, 0, 0, 0
 		st.min, st.max = relation.Null(), relation.Null()
 		return nil
 	}
@@ -382,6 +389,19 @@ func (st *aggState) remove(v relation.Value) error {
 		}
 	}
 	return nil
+}
+
+// addFloat folds f into the compensated running sum (Neumaier variant:
+// unlike classic Kahan it also recovers bits when the addend is larger
+// than the running sum, which removal makes common).
+func (st *aggState) addFloat(f float64) {
+	t := st.sumF + f
+	if math.Abs(st.sumF) >= math.Abs(f) {
+		st.sumC += (st.sumF - t) + f
+	} else {
+		st.sumC += (f - t) + st.sumF
+	}
+	st.sumF = t
 }
 
 // rescan finds the new extremum from the value counts (dir < 0: min).
@@ -409,12 +429,12 @@ func (st *aggState) result(name string, rowsInGroup int64, star bool) relation.V
 		if st.nonInt == 0 {
 			return relation.Int(st.sumI)
 		}
-		return relation.Float(st.sumF)
+		return relation.Float(st.sumF + st.sumC)
 	case "avg":
 		if st.count == 0 {
 			return relation.Null()
 		}
-		return relation.Float(st.sumF / float64(st.count))
+		return relation.Float((st.sumF + st.sumC) / float64(st.count))
 	case "min":
 		return st.min
 	case "max":

@@ -391,5 +391,8 @@ func All() ([]Result, error) {
 	if err := add(IVMScaling([]int{2000}, 6, 7)); err != nil {
 		return nil, err
 	}
+	if err := add(VersioningExperiment([]int{2000}, 20, 7)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -203,6 +203,10 @@ func IVMScaling(sizes []int, steps int, seed int64) (Result, error) {
 				stats[fmt.Sprintf("n%d_empty_delta_skips", n)] = int64(s.EmptyDeltaSkips)
 				stats[fmt.Sprintf("n%d_render_skips", n)] = int64(s.RenderSkips)
 				stats[fmt.Sprintf("n%d_view_recomputes", n)] = int64(s.ViewRecomputes)
+				stats[fmt.Sprintf("n%d_deltalog_events", n)] = int64(s.Versioning.DeltaLogEvents)
+				stats[fmt.Sprintf("n%d_snapshot_bytes", n)] = s.Versioning.SnapshotBytes
+				stats[fmt.Sprintf("n%d_reconstructions", n)] = int64(s.Versioning.Reconstructions)
+				stats[fmt.Sprintf("n%d_checkpoint_hits", n)] = int64(s.Versioning.CheckpointHits)
 			}
 		}
 		speedup := steadyUs[1] / steadyUs[0]

@@ -1,0 +1,89 @@
+package experiments
+
+// The versioning workload: long drags over the join-based crossfilter,
+// measuring what @vnow/@tnow history maintenance costs per event now that
+// the storage manager records per-event deltas instead of snapshotting the
+// whole database (PR 3). The snapshot arm re-creates the pre-refactor cost
+// by explicitly capturing every relation per event on top of the same
+// engine, so both arms pay identical view-maintenance work and the
+// difference isolates version-history cost.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/relation"
+)
+
+// VersioningExperiment measures the long-drag tail per database size: the
+// brush already covers every month, so each further move event changes
+// nothing (the empty-delta fast path) and per-event cost is recognizer +
+// dirty-check + history maintenance. That isolates exactly the cost the
+// refactor removes — the pre-refactor store paid a whole-database capture
+// for every such no-op event, which BENCH_ivm_micro showed dominating
+// steady-state drags once view maintenance became delta-proportional.
+func VersioningExperiment(sizes []int, nEvents int, seed int64) (Result, error) {
+	var b strings.Builder
+	b.WriteString("Versioning — per-event history cost on the long-drag tail,\ndelta log vs whole-database snapshots\n")
+	fmt.Fprintf(&b, "(join-based crossfilter, %d no-op move events per arm after the brush\ncovers all months; each event still seals a @tnow version)\n\n", nEvents)
+	stats := map[string]int64{}
+	for _, n := range sizes {
+		var us [2]float64 // µs/event: [delta-log, +snapshot-per-event]
+		for arm := 0; arm < 2; arm++ {
+			e, err := NewIVMEngine(n, seed, core.Config{})
+			if err != nil {
+				return Result{}, err
+			}
+			// Warm-up drag, then open a drag that selects all 12 months.
+			if _, err := e.FeedStream(IVMBrushStream(2)); err != nil {
+				return Result{}, err
+			}
+			open, grow, _ := IVMBrushPhases(12)
+			if _, err := e.FeedStream(append(append(events.Stream{}, open...), grow...)); err != nil {
+				return Result{}, err
+			}
+			e.Stats = core.Stats{}
+			start := time.Now()
+			t0 := int64(1000)
+			for k := 0; k < nEvents; k++ {
+				// Moves past the last month bucket change no view.
+				ev := events.Mouse(events.MouseMove, t0+int64(k), 300+int64(k%5), 45)
+				if _, err := e.FeedEvent(ev); err != nil {
+					return Result{}, err
+				}
+				if arm == 1 {
+					// The pre-refactor MarkEvent: shallow-copy every
+					// relation into a per-event snapshot.
+					snap := make(map[string]*relation.Relation)
+					for _, name := range e.Store().Names() {
+						r, err := e.Relation(name)
+						if err != nil {
+							return Result{}, err
+						}
+						snap[name] = r.Snapshot()
+					}
+					_ = snap
+				}
+			}
+			us[arm] = float64(time.Since(start).Microseconds()) / float64(nEvents)
+			if arm == 0 {
+				v := e.Stats.Versioning
+				stats[fmt.Sprintf("n%d_deltalog_events", n)] = int64(v.DeltaLogEvents)
+				stats[fmt.Sprintf("n%d_snapshot_bytes", n)] = v.SnapshotBytes
+				stats[fmt.Sprintf("n%d_reconstructions", n)] = int64(v.Reconstructions)
+				stats[fmt.Sprintf("n%d_checkpoint_hits", n)] = int64(v.CheckpointHits)
+				stats[fmt.Sprintf("n%d_cache_hits", n)] = int64(v.CacheHits)
+			}
+		}
+		stats[fmt.Sprintf("n%d_deltalog_us_per_event", n)] = int64(us[0])
+		stats[fmt.Sprintf("n%d_snapshot_us_per_event", n)] = int64(us[1])
+		speed := us[1] / us[0]
+		fmt.Fprintf(&b, "%8d rows: delta-log %10.1f µs/event   snapshot-per-event %10.1f µs/event   %6.1fx\n",
+			n, us[0], us[1], speed)
+	}
+	b.WriteString("\nThe delta-log arm seals each event's recorded deltas (empty here, O(1));\nthe snapshot arm additionally shallow-copies every relation per event —\nexactly what Store.MarkEvent did before the delta-log refactor. The gap\ngrows linearly with the base table while the delta-log cost stays flat.\n")
+	return Result{ID: "version", Title: "Delta-log versioning cost", Output: b.String(), Stats: stats}, nil
+}

@@ -40,6 +40,30 @@ func (d Delta) Consolidate() Delta {
 	return cancel(d.Del, d.Ins)
 }
 
+// Invert returns the delta that undoes d: applying d then d.Invert() (or
+// vice versa) leaves a relation's bag of tuples unchanged. The delta-log
+// version store uses it to walk history backwards from the live state.
+func (d Delta) Invert() Delta { return Delta{Ins: d.Del, Del: d.Ins} }
+
+// Compose returns the net delta of applying a then b under bag semantics:
+// an insert in one that matches a delete in the other cancels, so a row
+// added and removed within the composed window vanishes from the log. The
+// version store composes all records between two version boundaries into
+// one per-relation entry.
+func Compose(a, b Delta) Delta {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	out := Delta{
+		Ins: append(append(make([]Tuple, 0, len(a.Ins)+len(b.Ins)), a.Ins...), b.Ins...),
+		Del: append(append(make([]Tuple, 0, len(a.Del)+len(b.Del)), a.Del...), b.Del...),
+	}
+	return out.Consolidate()
+}
+
 // cancel nets adds against removes: the result's Ins are add rows with no
 // matching remove, its Del the remaining unmatched removes. Shared by
 // Consolidate (removes = Del, adds = Ins) and Diff (removes = old rows,

@@ -136,3 +136,80 @@ func TestDiffApplyRandomized(t *testing.T) {
 		}
 	}
 }
+
+// Invert undoes a delta: apply(d) then apply(d.Invert()) is the identity
+// on the bag of tuples.
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		rel := New("r", deltaSchema())
+		for i := 0; i < rng.Intn(12); i++ {
+			rel.Rows = append(rel.Rows, deltaRow(int64(rng.Intn(4)), int64(rng.Intn(4))))
+		}
+		orig := rel.Clone()
+		var d Delta
+		for i := 0; i < rng.Intn(4); i++ {
+			d.Ins = append(d.Ins, deltaRow(int64(rng.Intn(4)), int64(rng.Intn(4))))
+		}
+		if len(rel.Rows) > 0 {
+			for i := 0; i < rng.Intn(len(rel.Rows)+1); i++ {
+				d.Del = append(d.Del, rel.Rows[rng.Intn(len(rel.Rows))])
+			}
+		}
+		d = d.Consolidate()
+		if err := rel.ApplyDelta(d); err != nil {
+			continue // duplicate deletes may overdraw; irrelevant here
+		}
+		if err := rel.ApplyDelta(d.Invert()); err != nil {
+			t.Fatalf("trial %d: invert apply: %v", trial, err)
+		}
+		if !Equal(rel, orig) {
+			t.Fatalf("trial %d: apply(d);apply(d⁻¹) ≠ identity\n%s\nvs\n%s", trial, rel, orig)
+		}
+	}
+}
+
+// Compose(a, b) applied once equals applying a then b, and nets out rows
+// added and removed within the window.
+func TestComposeEqualsSequentialApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		rel := New("r", deltaSchema())
+		for i := 0; i < 4+rng.Intn(8); i++ {
+			rel.Rows = append(rel.Rows, deltaRow(int64(rng.Intn(4)), int64(rng.Intn(4))))
+		}
+		seq := rel.Clone()
+		one := rel.Clone()
+		randomDelta := func(cur *Relation) Delta {
+			var d Delta
+			for i := 0; i < rng.Intn(3); i++ {
+				d.Ins = append(d.Ins, deltaRow(int64(rng.Intn(4)), int64(rng.Intn(4))))
+			}
+			if len(cur.Rows) > 0 && rng.Intn(2) == 0 {
+				d.Del = append(d.Del, cur.Rows[rng.Intn(len(cur.Rows))])
+			}
+			return d
+		}
+		a := randomDelta(seq)
+		if err := seq.ApplyDelta(a); err != nil {
+			t.Fatalf("trial %d: apply a: %v", trial, err)
+		}
+		b := randomDelta(seq)
+		if err := seq.ApplyDelta(b); err != nil {
+			t.Fatalf("trial %d: apply b: %v", trial, err)
+		}
+		c := Compose(a, b)
+		if err := one.ApplyDelta(c); err != nil {
+			t.Fatalf("trial %d: apply compose: %v", trial, err)
+		}
+		if !Equal(seq, one) {
+			t.Fatalf("trial %d: compose diverges from sequential apply\n%s\nvs\n%s", trial, seq, one)
+		}
+	}
+	// The net-out property: a row inserted by a and deleted by b vanishes.
+	a := Delta{Ins: []Tuple{deltaRow(9, 9)}}
+	b := Delta{Del: []Tuple{deltaRow(9, 9)}}
+	if c := Compose(a, b); !c.Empty() {
+		t.Fatalf("insert+delete of one row should net to empty, got %s", c)
+	}
+}

@@ -36,6 +36,20 @@ func Col(name string, kind Kind) Column { return Column{Name: name, Kind: kind} 
 // Len returns the number of columns.
 func (s Schema) Len() int { return len(s.Cols) }
 
+// Equal reports whether two schemas have identical columns (qualifier,
+// name, and kind, in order).
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Cols) != len(o.Cols) {
+		return false
+	}
+	for i, c := range s.Cols {
+		if c != o.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Index resolves a possibly qualified column reference to a position.
 // Matching is case-insensitive on names. An unqualified reference matches a
 // column by name; if it matches more than one column the reference is
