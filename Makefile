@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race bench bench-exec bench-engine bench-ivm bench-version bench-smoke
+.PHONY: check build vet test test-race cover fuzz-smoke bench bench-exec bench-engine bench-ivm bench-version bench-topk bench-smoke
 
 check: build vet test
 
@@ -21,9 +21,27 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# cover is the CI coverage gate: combined internal/exec + internal/plan
+# statement coverage must not drop below the pre-PR-4 baseline (83.1%,
+# measured before the order-statistic subsystem landed).
+COVER_MIN ?= 83.0
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/exec ./internal/plan
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | grep -o '[0-9.]*%' | tr -d '%'); \
+	ok=$$(awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { print (t >= m) ? 1 : 0 }'); \
+	if [ "$$ok" != "1" ]; then \
+		echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; \
+	fi
+
+# fuzz-smoke gives the order-statistic fuzz target a short CI run; longer
+# local runs (-fuzztime 5m+) are how to hunt for real corpus finds.
+fuzz-smoke:
+	$(GO) test ./internal/exec -run '^$$' -fuzz '^FuzzOrdStat$$' -fuzztime 20s
+
 # bench runs the executor microbenchmarks with allocation stats and writes
 # the experiment-series snapshot to BENCH_exec.json via cmd/dvms-bench.
-bench: bench-exec bench-engine bench-ivm bench-version
+bench: bench-exec bench-engine bench-ivm bench-version bench-topk
 
 bench-exec:
 	$(GO) test ./internal/exec -run '^$$' -bench . -benchmem | tee BENCH_exec_micro.txt
@@ -48,11 +66,24 @@ bench-version:
 	$(GO) run ./cmd/dvms-bench -experiment version -n 1000000 -format json > BENCH_version.json
 	@echo "wrote BENCH_version_micro.txt and BENCH_version.json"
 
+# bench-topk records the incremental ORDER BY/LIMIT trajectory: top-k brush
+# and single-row tick latency vs RecomputeAll at 10k/100k/1M (micro + the
+# BENCH_topk.json series with order-statistic counters and per-event
+# delta-row distributions).
+bench-topk:
+	$(GO) test . -run '^$$' -bench 'BenchmarkTopKBrush' -benchmem | tee BENCH_topk_micro.txt
+	$(GO) run ./cmd/dvms-bench -experiment topk -n 1000000 -format json > BENCH_topk.json
+	@echo "wrote BENCH_topk_micro.txt and BENCH_topk.json"
+
 # bench-smoke is the short-form CI benchmark: proves the benchmark harness
-# runs end to end without committing CI minutes to full sizes.
+# runs end to end without committing CI minutes to full sizes. The small-n
+# top-k run lands in BENCH_topk_smoke.json (gitignored) so it never clobbers
+# the committed full-size BENCH_topk.json trajectory; CI publishes both.
 bench-smoke:
 	$(GO) run ./cmd/dvms-bench -experiment ivm -n 2000 -format json > /dev/null
 	$(GO) run ./cmd/dvms-bench -experiment a1 -n 300 -format json > /dev/null
 	$(GO) run ./cmd/dvms-bench -experiment version -n 2000 -format json > /dev/null
+	$(GO) run ./cmd/dvms-bench -experiment topk -n 2000 -format json > BENCH_topk_smoke.json
 	$(GO) test . -run '^$$' -bench 'BenchmarkIVMBrush/n10000$$/' -benchtime 1x > /dev/null
+	$(GO) test . -run '^$$' -bench 'BenchmarkTopKBrush/n10000/tick' -benchtime 1x > /dev/null
 	@echo "benchmark smoke OK"

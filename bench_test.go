@@ -20,6 +20,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/precision"
+	"repro/internal/relation"
 	"repro/internal/stream"
 	"repro/internal/workload"
 )
@@ -292,6 +293,55 @@ func BenchmarkIVMBrush(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := eng.FeedStream(drag); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTopKBrush measures the top-k crossfilter (ORDER BY+LIMIT views
+// maintained by order-statistic trees) against the RecomputeAll baseline.
+// Two steady states per size: "brush" ops are one full drag (each move
+// shifts ~1/12 of the data through the filtered leaderboard's join);
+// "tick" ops are one single-row insert straddling the k-th boundary, the
+// O(log n + k) case where incremental cost should be flat in n.
+func BenchmarkTopKBrush(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		for _, full := range []bool{false, true} {
+			arm := "incremental"
+			if full {
+				arm = "recompute-all"
+			}
+			b.Run(fmt.Sprintf("n%d/brush/%s", n, arm), func(b *testing.B) {
+				eng, err := experiments.NewTopKEngine(n, 7, core.Config{RecomputeAll: full})
+				if err != nil {
+					b.Fatal(err)
+				}
+				drag := experiments.IVMBrushStream(6) // 10 events per op
+				if _, err := eng.FeedStream(drag); err != nil {
+					b.Fatal(err) // warm-up primes the pipelines
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.FeedStream(drag); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("n%d/tick/%s", n, arm), func(b *testing.B) {
+				eng, err := experiments.NewTopKEngine(n, 7, core.Config{RecomputeAll: full})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.FeedStream(experiments.IVMBrushStream(2)); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := eng.InsertRows("Sales",
+						[]relation.Tuple{experiments.TopKTickRow(n, i)}); err != nil {
 						b.Fatal(err)
 					}
 				}

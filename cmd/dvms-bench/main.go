@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "one of: fig1 fig2 table1 deVIL4 fig5 fig5-trend fig6 fig7 stream a1 a2 e2e ivm version all")
+		experiment   = flag.String("experiment", "all", "one of: fig1 fig2 table1 deVIL4 fig5 fig5-trend fig6 fig7 stream a1 a2 e2e ivm version topk all")
 		n            = flag.Int("n", 2000, "workload size (rows/products/queries, experiment dependent)")
 		participants = flag.Int("participants", 40, "simulated participants for fig5")
 		seed         = flag.Int64("seed", 7, "workload seed")
@@ -103,6 +103,15 @@ func run(experiment, format string, n, participants int, seed int64) (err error)
 			sizes = []int{n / 10, n}
 		}
 		return print(experiments.VersioningExperiment(sizes, 40, seed))
+	case "topk":
+		// -n sets the largest size; smaller decades show the scaling trend.
+		sizes := []int{n}
+		if n >= 100000 {
+			sizes = []int{n / 100, n / 10, n}
+		} else if n >= 10000 {
+			sizes = []int{n / 10, n}
+		}
+		return print(experiments.TopKScaling(sizes, 6, 40, seed))
 	case "all":
 		results, err := experiments.All()
 		if err != nil {

@@ -70,6 +70,10 @@ type Engine struct {
 	Stats Stats
 }
 
+// TopKStats aliases the executor's order-statistic counters so hosts and
+// benchmarks read them straight off Stats without importing exec.
+type TopKStats = exec.TopKStats
+
 // Stats counts engine work, exposed for benchmarks and the experiment
 // harness. ViewRecomputes counts full (re)materializations; the delta
 // counters cover the incremental path: ViewDeltaApplies is the number of
@@ -93,6 +97,13 @@ type Stats struct {
 	FullFallbacks    int
 	EmptyDeltaSkips  int
 	RenderSkips      int
+
+	// TopK counts the order-statistic subsystem's work (incremental
+	// ORDER BY / LIMIT): TreeRows is the high-water mark of rows held by any
+	// single view's order-statistic trees, PrefixEmits the delta rows
+	// emitted for maintained top-k prefixes, Evictions the prefix exits of
+	// rows displaced (not deleted) by better-ranked arrivals.
+	TopK TopKStats
 
 	// Versioning counts the storage manager's delta-log work (boundaries
 	// sealed, bytes checkpointed, versions reconstructed). The store writes
@@ -654,10 +665,23 @@ func (e *Engine) tryDelta(v *view, changes map[string]*relation.Delta) (out *rel
 		prep.ResetState()
 		return nil, false, nil
 	}
+	if prep.Ordered() {
+		// ORDER BY views: the bag patch above verified consistency, but row
+		// order carries meaning — replace the rows with the pipeline's
+		// maintained order (O(k) for top-k prefixes).
+		rel.Rows = prep.OrderedRows()
+	}
 	e.store.recordChange(v.name, od)
 	e.Stats.ViewDeltaApplies++
 	e.Stats.DeltaRowsIn += rowsIn
 	e.Stats.DeltaRowsOut += od.Len()
+	if ts := prep.TakeTopKStats(); ts != (exec.TopKStats{}) {
+		if ts.TreeRows > e.Stats.TopK.TreeRows {
+			e.Stats.TopK.TreeRows = ts.TreeRows
+		}
+		e.Stats.TopK.PrefixEmits += ts.PrefixEmits
+		e.Stats.TopK.Evictions += ts.Evictions
+	}
 	return &od, true, nil
 }
 
@@ -700,6 +724,36 @@ func (e *Engine) resetDeltaStates() {
 			v.prepared.ResetState()
 		}
 	}
+}
+
+// restoreOrderedViews re-sorts every ORDER BY view's live rows. The store's
+// rollback/restore paths rewrite contents through bag-level deltas, which
+// restore the exact bag but not row order — and for ordered views the order
+// is part of the contract (hosts read it, sinks paint it). Must run after
+// any store-level restore, before rendering.
+//
+// Re-sorting is best-effort per view: view definitions are not versioned,
+// so a restore can hand back rows computed under a *previous* definition
+// whose columns the current plan's sort keys cannot evaluate. Such views
+// keep the restored bag order (exactly the pre-ordered-maintenance
+// behavior) rather than failing the whole undo/rollback; OrderRows
+// evaluates every key before moving a row, so a failed view is left
+// untouched, not half-sorted.
+func (e *Engine) restoreOrderedViews() error {
+	for _, name := range e.viewOrder {
+		v := e.views[strings.ToLower(name)]
+		// A nil prepared means the view was just (re)defined; its pending
+		// full recompute materializes in order anyway.
+		if v.prepared == nil || !v.prepared.Ordered() {
+			continue
+		}
+		rel, err := e.store.Get(v.name)
+		if err != nil {
+			return err
+		}
+		_ = v.prepared.OrderRows(rel.Rows) // best-effort; see above
+	}
+	return nil
 }
 
 // render rasterizes every render sink, in definition order, onto a cleared
@@ -849,6 +903,9 @@ func (e *Engine) abort(compound string) error {
 	// The rollback rewrote live contents without deltas; every delta
 	// pipeline is now stale and re-primes on its next recompute.
 	e.resetDeltaStates()
+	if err := e.restoreOrderedViews(); err != nil {
+		return err
+	}
 	return e.render()
 }
 
@@ -860,6 +917,9 @@ func (e *Engine) Undo() error {
 		return err
 	}
 	e.resetDeltaStates()
+	if err := e.restoreOrderedViews(); err != nil {
+		return err
+	}
 	if err := e.render(); err != nil {
 		return err
 	}
@@ -872,9 +932,29 @@ func (e *Engine) Relation(name string) (*relation.Relation, error) {
 	return e.store.Get(name)
 }
 
-// RelationAt returns a relation's contents at a version reference.
+// RelationAt returns a relation's contents at a version reference. For
+// ORDER BY views the historical bag is re-sorted into the current
+// definition's output order (reconstruction is bag-level and loses it);
+// the store's copy — possibly cached or live — is left untouched. The
+// re-sort is best-effort: versions that predate a view redefinition carry
+// that version's schema (the store keeps it deliberately), which the
+// current sort keys may not evaluate against — those come back in
+// reconstruction order, as before ordered maintenance existed.
 func (e *Engine) RelationAt(name string, v relation.VersionRef) (*relation.Relation, error) {
-	return e.store.Resolve(name, v)
+	rel, err := e.store.Resolve(name, v)
+	if err != nil {
+		return nil, err
+	}
+	vw, ok := e.views[strings.ToLower(name)]
+	if !ok || vw.prepared == nil || !vw.prepared.Ordered() {
+		return rel, nil
+	}
+	out := *rel
+	out.Rows = append([]relation.Tuple(nil), rel.Rows...)
+	if err := vw.prepared.OrderRows(out.Rows); err != nil {
+		return rel, nil // historical schema predates the current ORDER BY
+	}
+	return &out, nil
 }
 
 // Query runs an ad-hoc DeVIL query against the current state.

@@ -544,3 +544,51 @@ V = SELECT a AS first, b AS second FROM T;
 		t.Fatalf("V@vnow-1 big-column sum = %d, want 30", sum)
 	}
 }
+
+// TestUndoSurvivesOrderedViewRedefinition: view definitions are not
+// versioned, so undo/rollback can restore an ordered view's rows computed
+// under a previous definition whose columns the current sort keys cannot
+// evaluate. The restore-order pass must degrade to bag order for that view
+// (the pre-ordered-maintenance behavior), not fail the undo; historical
+// reads through RelationAt must likewise fall back instead of erroring.
+func TestUndoSurvivesOrderedViewRedefinition(t *testing.T) {
+	e := New(Config{})
+	if err := e.LoadProgram(`
+CREATE TABLE T (a int, b int);
+INSERT INTO T VALUES (1, 9), (2, 8), (3, 7);
+V = SELECT a FROM T ORDER BY a;
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec("INSERT INTO T VALUES (4, 6)"); err != nil {
+		t.Fatal(err)
+	}
+	e.Commit()
+	// Redefine V with a different schema and sort keys.
+	if err := e.Exec("V = SELECT a, b FROM T ORDER BY b DESC, a"); err != nil {
+		t.Fatal(err)
+	}
+	e.Commit()
+	// Reading a version that predates the redefinition returns the old
+	// 1-column rows; the current keys cannot order them — no error.
+	past, err := e.RelationAt("V", relation.VersionRef{Kind: relation.VersionVNow, Offset: 2})
+	if err != nil {
+		t.Fatalf("RelationAt across redefinition: %v", err)
+	}
+	if past.Schema.Len() != 1 || len(past.Rows) != 4 {
+		t.Fatalf("historical V = %d cols x %d rows, want 1x4", past.Schema.Len(), len(past.Rows))
+	}
+	// Undo restores the old-definition rows into the live store while the
+	// engine keeps the new definition; this used to fail the whole undo
+	// with "unknown column b".
+	if err := e.Undo(); err != nil {
+		t.Fatalf("Undo across redefinition: %v", err)
+	}
+	v, err := e.Relation("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Rows) != 4 {
+		t.Fatalf("restored V has %d rows, want 4", len(v.Rows))
+	}
+}

@@ -15,6 +15,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/expr"
@@ -35,10 +36,16 @@ type dnode interface {
 	reset()
 }
 
-// buildDelta mirrors the bound-operator tree with stateful delta operators.
-// It returns false for shapes without a delta rule; callers gate on
+// deltaBuilder mirrors the bound-operator tree with stateful delta
+// operators, collecting the order-statistic (dSort) nodes it creates so the
+// Prepared can surface their stats and ordered output.
+type deltaBuilder struct {
+	sorts []*dSort
+}
+
+// build returns false for shapes without a delta rule; callers gate on
 // plan.DeltaSafety first, so a false here is belt and braces.
-func buildDelta(b bnode) (dnode, bool) {
+func (db *deltaBuilder) build(b bnode) (dnode, bool) {
 	switch t := b.(type) {
 	case *bScan:
 		return &dScan{s: t.s}, true
@@ -46,7 +53,7 @@ func buildDelta(b bnode) (dnode, bool) {
 		if t.pred.raw != nil && t.pred.fn == nil {
 			return nil, false // needs per-run resolution
 		}
-		child, ok := buildDelta(t.child)
+		child, ok := db.build(t.child)
 		if !ok {
 			return nil, false
 		}
@@ -55,7 +62,7 @@ func buildDelta(b bnode) (dnode, bool) {
 		if t.static == nil && len(t.items) > 0 {
 			return nil, false
 		}
-		child, ok := buildDelta(t.child)
+		child, ok := db.build(t.child)
 		if !ok {
 			return nil, false
 		}
@@ -64,11 +71,11 @@ func buildDelta(b bnode) (dnode, bool) {
 		if t.residual.raw != nil && t.residual.fn == nil {
 			return nil, false
 		}
-		l, ok := buildDelta(t.l)
+		l, ok := db.build(t.l)
 		if !ok {
 			return nil, false
 		}
-		r, ok := buildDelta(t.r)
+		r, ok := db.build(t.r)
 		if !ok {
 			return nil, false
 		}
@@ -77,30 +84,58 @@ func buildDelta(b bnode) (dnode, bool) {
 		if t.static == nil {
 			return nil, false
 		}
-		child, ok := buildDelta(t.child)
+		child, ok := db.build(t.child)
 		if !ok {
 			return nil, false
 		}
 		return &dAggregate{b: t, child: child}, true
 	case *bDistinct:
-		child, ok := buildDelta(t.child)
+		child, ok := db.build(t.child)
 		if !ok {
 			return nil, false
 		}
 		return &dDistinct{child: child}, true
 	case *bSetOp:
-		l, ok := buildDelta(t.l)
+		l, ok := db.build(t.l)
 		if !ok {
 			return nil, false
 		}
-		r, ok := buildDelta(t.r)
+		r, ok := db.build(t.r)
 		if !ok {
 			return nil, false
 		}
 		return &dSetOp{b: t, l: l, r: r}, true
-	default: // bSort, bLimit: order-sensitive
+	case *bSort:
+		return db.buildSort(t, -1)
+	case *bLimit:
+		// LIMIT is incrementalizable only over an ORDER BY, whose maintained
+		// order makes the k-prefix deterministic; a bare LIMIT has no delta
+		// rule (plan.DeltaSafety rejects it first).
+		s, ok := t.child.(*bSort)
+		if !ok {
+			return nil, false
+		}
+		return db.buildSort(s, t.n)
+	default:
 		return nil, false
 	}
+}
+
+func (db *deltaBuilder) buildSort(s *bSort, limit int) (dnode, bool) {
+	if s.static == nil {
+		return nil, false // sort keys need per-run resolution
+	}
+	child, ok := db.build(s.child)
+	if !ok {
+		return nil, false
+	}
+	desc := make([]bool, len(s.s.Keys))
+	for i, k := range s.s.Keys {
+		desc[i] = k.Desc
+	}
+	ds := &dSort{b: s, limit: limit, desc: desc, child: child}
+	db.sorts = append(db.sorts, ds)
+	return ds, true
 }
 
 // --- executor entry points ---
@@ -1009,6 +1044,171 @@ func (d *dSetOp) reset() {
 	d.child0reset()
 	d.l.reset()
 	d.r.reset()
+}
+
+// --- sort / top-k ---
+
+// TopKStats counts the order-statistic subsystem's work across a pipeline's
+// dSort operators. TreeRows is a gauge (rows currently held, duplicates
+// counted); PrefixEmits and Evictions are counters drained by
+// Prepared.TakeTopKStats.
+type TopKStats struct {
+	TreeRows    int64 // rows currently held in order-statistic trees
+	PrefixEmits int64 // delta rows emitted for maintained ORDER BY+LIMIT prefixes
+	Evictions   int64 // prefix exits of rows still in the tree (displaced, not deleted)
+}
+
+// dSort maintains an order-statistic tree over its child's full output.
+// With limit < 0 it is a stateful ORDER BY: the output delta is the input
+// delta (sorting is bag-identity; the order lives in orderedRows, which the
+// engine uses to materialize the view). With limit >= 0 it is a top-k
+// operator: the output is the maintained k-prefix, and each delta
+// application emits the prefix's own delta — a row entering the top-k
+// evicts the current k-th, a deletion inside the prefix promotes the
+// successor — so a one-row input change ships ~2 output rows.
+type dSort struct {
+	b     *bSort
+	limit int    // -1: full ORDER BY; >= 0: maintained prefix length
+	desc  []bool // per-key DESC flags
+	child dnode
+
+	tree    *ordStat
+	emitted []relation.Tuple // current prefix shipped downstream (limit >= 0)
+	stats   TopKStats        // cumulative counters, drained by TakeTopKStats
+}
+
+// evalSortKeys fills the scratch key tuple for one child row.
+func (d *dSort) evalSortKeys(env *expr.Env, row relation.Tuple, key relation.Tuple) error {
+	env.Row = row
+	for i, fn := range d.b.static {
+		v, err := fn(env)
+		if err != nil {
+			return fmt.Errorf("order by %s: %w", d.b.keys[i].String(), err)
+		}
+		key[i] = v
+	}
+	return nil
+}
+
+// prefixLen is the current output length: everything for ORDER BY, min(k,
+// rows) for top-k.
+func (d *dSort) prefixLen() int {
+	if d.limit < 0 {
+		return int(d.tree.Len())
+	}
+	if int64(d.limit) > d.tree.Len() {
+		return int(d.tree.Len())
+	}
+	return d.limit
+}
+
+// orderedRows returns the operator's current output in maintained order: the
+// engine overwrites the materialized view's rows with it after each delta
+// application, so ordered views stay ordered without re-sorting.
+func (d *dSort) orderedRows() []relation.Tuple {
+	if d.limit >= 0 {
+		return append([]relation.Tuple(nil), d.emitted...)
+	}
+	return d.tree.InOrder()
+}
+
+func (d *dSort) init(ex *Executor) ([]relation.Tuple, error) {
+	d.tree, d.emitted = nil, nil
+	rows, err := d.child.init(ex)
+	if err != nil {
+		return nil, err
+	}
+	d.tree = newOrdStat(d.desc)
+	env := &expr.Env{}
+	key := make(relation.Tuple, len(d.b.static))
+	for _, row := range rows {
+		if err := d.evalSortKeys(env, row, key); err != nil {
+			return nil, err
+		}
+		d.tree.Insert(key, row)
+	}
+	out := d.tree.Prefix(d.prefixLen())
+	if d.limit >= 0 {
+		d.emitted = out
+	}
+	return out, nil
+}
+
+func (d *dSort) delta(ex *Executor, in map[string]relation.Delta) (relation.Delta, error) {
+	din, err := d.child.delta(ex, in)
+	if err != nil || din.Empty() {
+		return relation.Delta{}, err
+	}
+	env := &expr.Env{}
+	key := make(relation.Tuple, len(d.b.static))
+	for _, row := range din.Ins {
+		if err := d.evalSortKeys(env, row, key); err != nil {
+			return relation.Delta{}, err
+		}
+		d.tree.Insert(key, row)
+	}
+	for _, row := range din.Del {
+		if err := d.evalSortKeys(env, row, key); err != nil {
+			return relation.Delta{}, err
+		}
+		if err := d.tree.Delete(key, row); err != nil {
+			return relation.Delta{}, err
+		}
+	}
+	if d.limit < 0 {
+		// Pure ORDER BY is bag-identity: the input delta is the output delta.
+		return din, nil
+	}
+	// Top-k: the output delta is the prefix's own change — Consolidate
+	// cancels the rows present in both the old and new prefix, leaving the
+	// boundary crossings (entries, evictions, promotions). O(k), not O(n).
+	next := d.tree.Prefix(d.prefixLen())
+	out := relation.Delta{Ins: next, Del: d.emitted}.Consolidate()
+	d.emitted = next
+	d.stats.PrefixEmits += int64(out.Len())
+	for _, row := range out.Del {
+		// A prefix exit whose row is still in the tree was displaced by a
+		// better row (or by the prefix shrinking past it), not deleted.
+		if err := d.evalSortKeys(env, row, key); err != nil {
+			return out, err
+		}
+		if d.tree.Contains(key, row) {
+			d.stats.Evictions++
+		}
+	}
+	return out, nil
+}
+
+func (d *dSort) reset() {
+	d.tree, d.emitted = nil, nil
+	d.child.reset()
+}
+
+// sortRows sorts rows in place into the operator's total order (keys with
+// DESC negation, full-tuple tie-break). It needs no tree state: the engine
+// uses it to re-establish an ordered view's row order after the store
+// restored contents behind the pipeline's back (rollback, undo), where the
+// restored bag is exact but bag-delta reconstruction loses row order.
+func (d *dSort) sortRows(rows []relation.Tuple) error {
+	env := &expr.Env{}
+	type keyed struct{ row, keys relation.Tuple }
+	items := make([]keyed, len(rows))
+	var arena valueArena
+	arena.expect(len(rows) * len(d.b.static))
+	for i, row := range rows {
+		kt := arena.alloc(len(d.b.static))
+		if err := d.evalSortKeys(env, row, kt); err != nil {
+			return err
+		}
+		items[i] = keyed{row: row, keys: kt}
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		return compareKeyedRows(items[i].keys, items[j].keys, d.desc, items[i].row, items[j].row) < 0
+	})
+	for i := range items {
+		rows[i] = items[i].row
+	}
+	return nil
 }
 
 // rowArity returns the arity of the first row, -1 when empty.

@@ -473,3 +473,52 @@ func TestRelRefQueryCopiesRelation(t *testing.T) {
 		}
 	}
 }
+
+// TestSortTieBreakDeterministic: ORDER BY ties used to keep input order,
+// which made recomputes (and any LIMIT prefix) depend on how the input
+// happened to be materialized. Ties now break on the full output tuple, so
+// permuting the input never changes the sorted output — the property the
+// incremental top-k path and the parity suites rely on.
+func TestSortTieBreakDeterministic(t *testing.T) {
+	mk := func(perm []int) memCatalog {
+		rel := relation.New("T", relation.NewSchema(
+			relation.Col("k", relation.KindInt),
+			relation.Col("tag", relation.KindString),
+		))
+		rows := []relation.Tuple{
+			{relation.Int(1), relation.String("d")},
+			{relation.Int(1), relation.String("a")},
+			{relation.Int(2), relation.String("c")},
+			{relation.Int(1), relation.String("b")},
+			{relation.Int(2), relation.String("a")},
+		}
+		for _, i := range perm {
+			rel.MustAppend(rows[i])
+		}
+		return memCatalog{"t": rel}
+	}
+	perms := [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}}
+	for _, sql := range []string{
+		"SELECT k, tag FROM T ORDER BY k",
+		"SELECT k, tag FROM T ORDER BY k DESC",
+		"SELECT k, tag FROM T ORDER BY k LIMIT 3",
+	} {
+		var want *relation.Relation
+		for _, perm := range perms {
+			got := runSQL(t, mk(perm), sql)
+			if want == nil {
+				want = got
+				continue
+			}
+			if len(got.Rows) != len(want.Rows) {
+				t.Fatalf("%q: row count varies across input permutations", sql)
+			}
+			for i := range got.Rows {
+				if !got.Rows[i].Equal(want.Rows[i]) {
+					t.Fatalf("%q: input permutation changed output order: row %d = %v, want %v",
+						sql, i, got.Rows[i], want.Rows[i])
+				}
+			}
+		}
+	}
+}

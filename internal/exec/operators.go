@@ -639,17 +639,17 @@ func (b *bSort) run(ex *Executor) (*Result, error) {
 			rows[i].lin = in.Lin[i]
 		}
 	}
+	// compareKeyedRows breaks key ties on the full tuple, so the output
+	// order — and any LIMIT prefix over it — is a function of the row bag
+	// alone, not of input order; the delta path's order-statistic tree
+	// orders through the same function, so recomputes, deltas, and pixels
+	// agree.
+	desc := make([]bool, len(b.s.Keys))
+	for ki := range b.s.Keys {
+		desc[ki] = b.s.Keys[ki].Desc
+	}
 	sort.SliceStable(rows, func(i, j int) bool {
-		for ki := range fns {
-			c := rows[i].keys[ki].Compare(rows[j].keys[ki])
-			if b.s.Keys[ki].Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
-		}
-		return false
+		return compareKeyedRows(rows[i].keys, rows[j].keys, desc, rows[i].row, rows[j].row) < 0
 	})
 	out := relation.New(in.Rel.Name, in.Rel.Schema)
 	out.Rows = make([]relation.Tuple, 0, len(rows))

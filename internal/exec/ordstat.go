@@ -1,0 +1,352 @@
+package exec
+
+// Order-statistic state for incremental ORDER BY / LIMIT. An ordStat is an
+// AVL tree over (sort-key tuple, full output row), with bag multiplicities
+// kept as per-node counts and subtree sizes maintained for O(log n)
+// rank/select. The total order is deterministic: sort keys compare with
+// Value.Compare (per-key DESC negation), and exact ties break on the full
+// row tuple (relation.CompareTuples) — the same tie rule the stateless
+// bSort applies — so the maintained prefix of a top-k view is byte-for-byte
+// the prefix a full recomputation would produce, and parity diffs are
+// reproducible.
+//
+// The delta operators built on it (dSort in delta.go) insert and delete one
+// row per input change and read back either the full in-order listing
+// (ORDER BY) or the k-prefix (ORDER BY + LIMIT), so a one-row change to a
+// top-k chart costs O(log n) tree work plus O(k) prefix reconstruction
+// instead of an O(n log n) recompute.
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// ordNode is one distinct (keys, row) equivalence class.
+type ordNode struct {
+	keys  relation.Tuple // evaluated sort keys (owned clone)
+	row   relation.Tuple // full output row; tie-break and payload
+	count int64          // bag multiplicity of this exact row
+	size  int64          // total multiplicity in this subtree
+	h     int32          // AVL height
+	l, r  *ordNode
+}
+
+// ordStat is the tree plus its ordering (one desc flag per sort key).
+type ordStat struct {
+	root *ordNode
+	desc []bool
+}
+
+func newOrdStat(desc []bool) *ordStat {
+	return &ordStat{desc: append([]bool(nil), desc...)}
+}
+
+// Len returns the total number of rows held, counting duplicates.
+func (t *ordStat) Len() int64 { return size(t.root) }
+
+func size(n *ordNode) int64 {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func height(n *ordNode) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.h
+}
+
+// compareKeyedRows is THE total order of incremental ORDER BY: evaluated
+// sort keys first (DESC keys negated), full-row tuple order as the
+// deterministic tie-break. The stateless bSort, the order-statistic tree,
+// and the restore-order path (dSort.sortRows) all order through this one
+// function — recompute-vs-delta parity depends on them agreeing.
+func compareKeyedRows(aKeys, bKeys relation.Tuple, desc []bool, aRow, bRow relation.Tuple) int {
+	for i := range aKeys {
+		c := aKeys[i].Compare(bKeys[i])
+		if i < len(desc) && desc[i] {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return relation.CompareTuples(aRow, bRow)
+}
+
+// cmp orders (keys, row) against a node under compareKeyedRows.
+func (t *ordStat) cmp(keys, row relation.Tuple, n *ordNode) int {
+	return compareKeyedRows(keys, n.keys, t.desc, row, n.row)
+}
+
+func update(n *ordNode) {
+	n.size = size(n.l) + size(n.r) + n.count
+	lh, rh := height(n.l), height(n.r)
+	if lh > rh {
+		n.h = lh + 1
+	} else {
+		n.h = rh + 1
+	}
+}
+
+func rotL(n *ordNode) *ordNode {
+	r := n.r
+	n.r = r.l
+	r.l = n
+	update(n)
+	update(r)
+	return r
+}
+
+func rotR(n *ordNode) *ordNode {
+	l := n.l
+	n.l = l.r
+	l.r = n
+	update(n)
+	update(l)
+	return l
+}
+
+// fix recomputes the node's aggregates and restores the AVL invariant.
+func fix(n *ordNode) *ordNode {
+	update(n)
+	switch bf := height(n.l) - height(n.r); {
+	case bf > 1:
+		if height(n.l.l) < height(n.l.r) {
+			n.l = rotL(n.l)
+		}
+		return rotR(n)
+	case bf < -1:
+		if height(n.r.r) < height(n.r.l) {
+			n.r = rotR(n.r)
+		}
+		return rotL(n)
+	default:
+		return n
+	}
+}
+
+// Insert adds one occurrence of row under the given sort keys. keys may be a
+// reused scratch tuple; it is cloned only when a new node is created. row is
+// retained by reference (delta pipelines hand over stable tuples).
+func (t *ordStat) Insert(keys, row relation.Tuple) {
+	t.root = t.insert(t.root, keys, row)
+}
+
+func (t *ordStat) insert(n *ordNode, keys, row relation.Tuple) *ordNode {
+	if n == nil {
+		return &ordNode{keys: keys.Clone(), row: row, count: 1, size: 1, h: 1}
+	}
+	switch c := t.cmp(keys, row, n); {
+	case c == 0:
+		n.count++
+		update(n)
+		return n
+	case c < 0:
+		n.l = t.insert(n.l, keys, row)
+	default:
+		n.r = t.insert(n.r, keys, row)
+	}
+	return fix(n)
+}
+
+// Delete removes one occurrence of row. A delete for a row the tree never
+// saw is an error — the caller's state is out of sync and must re-prime.
+func (t *ordStat) Delete(keys, row relation.Tuple) error {
+	root, ok := t.delete(t.root, keys, row)
+	if !ok {
+		return fmt.Errorf("ordstat: delete for a row never inserted")
+	}
+	t.root = root
+	return nil
+}
+
+func (t *ordStat) delete(n *ordNode, keys, row relation.Tuple) (*ordNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var ok bool
+	switch c := t.cmp(keys, row, n); {
+	case c < 0:
+		n.l, ok = t.delete(n.l, keys, row)
+	case c > 0:
+		n.r, ok = t.delete(n.r, keys, row)
+	default:
+		if n.count > 1 {
+			n.count--
+			update(n)
+			return n, true
+		}
+		if n.l == nil {
+			return n.r, true
+		}
+		if n.r == nil {
+			return n.l, true
+		}
+		// Two children: adopt the in-order successor's class wholesale and
+		// unlink its old node from the right subtree.
+		s := n.r
+		for s.l != nil {
+			s = s.l
+		}
+		n.keys, n.row, n.count = s.keys, s.row, s.count
+		n.r = deleteMin(n.r)
+		return fix(n), true
+	}
+	if !ok {
+		return n, false
+	}
+	return fix(n), true
+}
+
+// deleteMin unlinks the minimum node (the whole equivalence class).
+func deleteMin(n *ordNode) *ordNode {
+	if n.l == nil {
+		return n.r
+	}
+	n.l = deleteMin(n.l)
+	return fix(n)
+}
+
+// Contains reports whether at least one occurrence of row is held.
+func (t *ordStat) Contains(keys, row relation.Tuple) bool {
+	n := t.root
+	for n != nil {
+		switch c := t.cmp(keys, row, n); {
+		case c == 0:
+			return true
+		case c < 0:
+			n = n.l
+		default:
+			n = n.r
+		}
+	}
+	return false
+}
+
+// Rank returns the number of rows strictly before row in the maintained
+// order (counting duplicates) — i.e. the 0-based position of its first
+// occurrence — and whether the row is present.
+func (t *ordStat) Rank(keys, row relation.Tuple) (int64, bool) {
+	var before int64
+	n := t.root
+	for n != nil {
+		switch c := t.cmp(keys, row, n); {
+		case c == 0:
+			return before + size(n.l), true
+		case c < 0:
+			n = n.l
+		default:
+			before += size(n.l) + n.count
+			n = n.r
+		}
+	}
+	return before, false
+}
+
+// Select returns the i-th row (0-based, duplicates expanded) or nil when i
+// is out of range.
+func (t *ordStat) Select(i int64) relation.Tuple {
+	if i < 0 || i >= t.Len() {
+		return nil
+	}
+	n := t.root
+	for {
+		ls := size(n.l)
+		switch {
+		case i < ls:
+			n = n.l
+		case i < ls+n.count:
+			return n.row
+		default:
+			i -= ls + n.count
+			n = n.r
+		}
+	}
+}
+
+// Prefix returns the first k rows in order, duplicates expanded. k past the
+// end (or negative) yields the full listing. The traversal short-circuits,
+// so cost is O(k + log n).
+func (t *ordStat) Prefix(k int) []relation.Tuple {
+	total := t.Len()
+	if k < 0 || int64(k) > total {
+		k = int(total)
+	}
+	out := make([]relation.Tuple, 0, k)
+	var rec func(n *ordNode) bool
+	rec = func(n *ordNode) bool {
+		if n == nil {
+			return true
+		}
+		if !rec(n.l) {
+			return false
+		}
+		for i := int64(0); i < n.count; i++ {
+			if len(out) == k {
+				return false
+			}
+			out = append(out, n.row)
+		}
+		if len(out) == k {
+			return false
+		}
+		return rec(n.r)
+	}
+	rec(t.root)
+	return out
+}
+
+// InOrder returns every row in order, duplicates expanded.
+func (t *ordStat) InOrder() []relation.Tuple { return t.Prefix(-1) }
+
+// check validates every structural invariant — AVL balance, height and size
+// aggregates, positive counts, strict in-order key order — and is run by the
+// unit tests and the fuzz target after every operation.
+func (t *ordStat) check() error {
+	var prev *ordNode
+	var rec func(n *ordNode) (int64, int32, error)
+	rec = func(n *ordNode) (int64, int32, error) {
+		if n == nil {
+			return 0, 0, nil
+		}
+		if n.count <= 0 {
+			return 0, 0, fmt.Errorf("node count %d not positive", n.count)
+		}
+		if len(n.keys) != len(t.desc) && len(t.desc) > 0 {
+			return 0, 0, fmt.Errorf("node key arity %d != %d sort keys", len(n.keys), len(t.desc))
+		}
+		lsz, lh, err := rec(n.l)
+		if err != nil {
+			return 0, 0, err
+		}
+		if prev != nil && t.cmp(n.keys, n.row, prev) <= 0 {
+			return 0, 0, fmt.Errorf("in-order violation at %v", n.row)
+		}
+		prev = n
+		rsz, rh, err := rec(n.r)
+		if err != nil {
+			return 0, 0, err
+		}
+		if want := lsz + rsz + n.count; n.size != want {
+			return 0, 0, fmt.Errorf("size %d, want %d", n.size, want)
+		}
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		h++
+		if n.h != h {
+			return 0, 0, fmt.Errorf("height %d, want %d", n.h, h)
+		}
+		if bf := lh - rh; bf < -1 || bf > 1 {
+			return 0, 0, fmt.Errorf("balance factor %d out of range", bf)
+		}
+		return lsz + rsz + n.count, h, nil
+	}
+	_, _, err := rec(t.root)
+	return err
+}

@@ -1,0 +1,278 @@
+package exec
+
+// Table-driven unit tests for the order-statistic tree in isolation, plus
+// the FuzzOrdStat native fuzz target: random op streams checked against a
+// naive sorted-slice oracle, with the structural invariant checker
+// (ordStat.check — balance, sizes, strict in-order) run after every op.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// ent builds the (keys, row) pair the tests insert: key = v, row = (v, id).
+func ent(v, id int64) (relation.Tuple, relation.Tuple) {
+	return relation.Tuple{relation.Int(v)}, relation.Tuple{relation.Int(v), relation.Int(id)}
+}
+
+func mustCheck(t *testing.T, tree *ordStat) {
+	t.Helper()
+	if err := tree.check(); err != nil {
+		t.Fatalf("invariant violation: %v", err)
+	}
+}
+
+func TestOrdStatInsertSelectRankRoundTrip(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		tree := newOrdStat([]bool{desc})
+		rng := rand.New(rand.NewSource(42))
+		const n = 500
+		perm := rng.Perm(n)
+		for _, p := range perm {
+			k, r := ent(int64(p%37), int64(p)) // heavy key duplication
+			tree.Insert(k, r)
+			mustCheck(t, tree)
+		}
+		if tree.Len() != n {
+			t.Fatalf("Len = %d, want %d", tree.Len(), n)
+		}
+		// Select(i) must walk the total order; Rank(Select(i)) must return
+		// the first occurrence position of that exact row.
+		var prev relation.Tuple
+		var prevKeys relation.Tuple
+		for i := int64(0); i < n; i++ {
+			row := tree.Select(i)
+			if row == nil {
+				t.Fatalf("Select(%d) = nil", i)
+			}
+			keys := relation.Tuple{row[0]}
+			if prev != nil {
+				c := prevKeys[0].Compare(keys[0])
+				if desc {
+					c = -c
+				}
+				if c > 0 || (c == 0 && relation.CompareTuples(prev, row) > 0) {
+					t.Fatalf("Select order violated at %d: %v before %v", i, prev, row)
+				}
+			}
+			rk, ok := tree.Rank(keys, row)
+			if !ok {
+				t.Fatalf("Rank(Select(%d)) reports absent", i)
+			}
+			if got := tree.Select(rk); !got.Equal(row) {
+				t.Fatalf("Select(Rank(x)) = %v, want %v", got, row)
+			}
+			prev, prevKeys = row, keys
+		}
+		if tree.Select(-1) != nil || tree.Select(n) != nil {
+			t.Fatal("out-of-range Select should return nil")
+		}
+		wantRank := int64(n) // asc: the absent max sorts last...
+		if desc {
+			wantRank = 0 // ...desc: it sorts first
+		}
+		if rk, ok := tree.Rank(ent(99999, 0)); ok || rk != wantRank {
+			t.Fatalf("Rank of absent max row = (%d,%v), want (%d,false)", rk, ok, wantRank)
+		}
+	}
+}
+
+func TestOrdStatPrefixMatchesOracle(t *testing.T) {
+	tree := newOrdStat([]bool{true}) // DESC
+	rng := rand.New(rand.NewSource(7))
+	var oracle []relation.Tuple
+	for i := 0; i < 200; i++ {
+		k, r := ent(int64(rng.Intn(20)), int64(rng.Intn(10)))
+		tree.Insert(k, r)
+		oracle = append(oracle, r)
+	}
+	sort.SliceStable(oracle, func(i, j int) bool {
+		if c := oracle[i][0].Compare(oracle[j][0]); c != 0 {
+			return c > 0 // DESC
+		}
+		return relation.CompareTuples(oracle[i], oracle[j]) < 0
+	})
+	for _, k := range []int{0, 1, 5, 199, 200, 500, -1} {
+		got := tree.Prefix(k)
+		want := oracle
+		if k >= 0 && k < len(oracle) {
+			want = oracle[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Prefix(%d) len = %d, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("Prefix(%d)[%d] = %v, want %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOrdStatDuplicateCountUnderflow(t *testing.T) {
+	tree := newOrdStat([]bool{false})
+	k, r := ent(3, 1)
+	tree.Insert(k, r)
+	tree.Insert(k, r)
+	if tree.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (duplicate counted)", tree.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if err := tree.Delete(k, r); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		mustCheck(t, tree)
+	}
+	// Third delete underflows the duplicate count: must error, not go
+	// negative or corrupt the tree.
+	if err := tree.Delete(k, r); err == nil {
+		t.Fatal("third delete of a twice-inserted row should error")
+	}
+	mustCheck(t, tree)
+	if tree.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tree.Len())
+	}
+}
+
+func TestOrdStatDeleteNonexistent(t *testing.T) {
+	tree := newOrdStat([]bool{false})
+	ka, ra := ent(1, 1)
+	tree.Insert(ka, ra)
+	// Same sort key, different row (tie-break distinguishes them).
+	kb, rb := ent(1, 2)
+	if err := tree.Delete(kb, rb); err == nil {
+		t.Fatal("delete of a never-inserted row should error")
+	}
+	// Entirely absent key.
+	kc, rc := ent(9, 9)
+	if err := tree.Delete(kc, rc); err == nil {
+		t.Fatal("delete of an absent key should error")
+	}
+	mustCheck(t, tree)
+	if tree.Len() != 1 || !tree.Contains(ka, ra) {
+		t.Fatal("failed deletes must leave the tree untouched")
+	}
+}
+
+func TestOrdStatRandomChurnAgainstOracle(t *testing.T) {
+	tree := newOrdStat([]bool{false, true}) // (asc, desc) two-key order
+	rng := rand.New(rand.NewSource(99))
+	var oracle [][2]relation.Tuple // (keys, row) pairs currently held
+	for op := 0; op < 3000; op++ {
+		if len(oracle) == 0 || rng.Intn(3) > 0 {
+			k := relation.Tuple{relation.Int(int64(rng.Intn(9))), relation.Int(int64(rng.Intn(4)))}
+			r := relation.Tuple{k[0], k[1], relation.Int(int64(rng.Intn(5)))}
+			tree.Insert(k, r)
+			oracle = append(oracle, [2]relation.Tuple{k, r})
+		} else {
+			i := rng.Intn(len(oracle))
+			if err := tree.Delete(oracle[i][0], oracle[i][1]); err != nil {
+				t.Fatalf("op %d: delete of held row: %v", op, err)
+			}
+			oracle[i] = oracle[len(oracle)-1]
+			oracle = oracle[:len(oracle)-1]
+		}
+		if err := tree.check(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if tree.Len() != int64(len(oracle)) {
+			t.Fatalf("op %d: Len = %d, want %d", op, tree.Len(), len(oracle))
+		}
+	}
+}
+
+// FuzzOrdStat drives arbitrary op streams (decoded from the fuzz input)
+// against a sorted-slice oracle. Every operation is followed by the full
+// invariant check; ordered listings, ranks, and prefix contents must match
+// the oracle exactly.
+func FuzzOrdStat(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0x10, 0x11, 0x10, 0x91, 0x10, 0x91, 0x91})
+	f.Add([]byte{0xFF, 0x00, 0x80, 0x7F, 0x40, 0xC0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		// First byte picks the key direction; the rest is an op stream.
+		desc := data[0]&1 == 1
+		tree := newOrdStat([]bool{desc})
+		type pair struct{ keys, row relation.Tuple }
+		var oracle []pair
+		less := func(a, b pair) bool {
+			c := a.keys[0].Compare(b.keys[0])
+			if desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+			return relation.CompareTuples(a.row, b.row) < 0
+		}
+		for _, b := range data[1:] {
+			op := b >> 6
+			v := int64(b >> 3 & 0x7) // sort key: 8 distinct values → heavy ties
+			id := int64(b & 0x7)     // row discriminator → real duplicates too
+			k := relation.Tuple{relation.Int(v)}
+			r := relation.Tuple{relation.Int(v), relation.Int(id)}
+			p := pair{keys: k, row: r}
+			switch op {
+			case 0, 1: // insert (weighted 2x so trees grow)
+				tree.Insert(k, r)
+				i := sort.Search(len(oracle), func(i int) bool { return !less(oracle[i], p) })
+				oracle = append(oracle, pair{})
+				copy(oracle[i+1:], oracle[i:])
+				oracle[i] = p
+			case 2: // delete (may target an absent row)
+				i := sort.Search(len(oracle), func(i int) bool { return !less(oracle[i], p) })
+				present := i < len(oracle) && oracle[i].row.Equal(r)
+				err := tree.Delete(k, r)
+				if present && err != nil {
+					t.Fatalf("delete of held row %v: %v", r, err)
+				}
+				if !present && err == nil {
+					t.Fatalf("delete of absent row %v should error", r)
+				}
+				if present {
+					oracle = append(oracle[:i], oracle[i+1:]...)
+				}
+			case 3: // rank/select round trip at position id (mod size)
+				if n := tree.Len(); n > 0 {
+					i := id % n
+					row := tree.Select(i)
+					if row == nil {
+						t.Fatalf("Select(%d) = nil with Len %d", i, n)
+					}
+					if !row.Equal(oracle[i].row) {
+						t.Fatalf("Select(%d) = %v, oracle %v", i, row, oracle[i].row)
+					}
+					rk, ok := tree.Rank(relation.Tuple{row[0]}, row)
+					if !ok || tree.Select(rk) == nil || !tree.Select(rk).Equal(row) {
+						t.Fatalf("Rank/Select round trip broken at %d", i)
+					}
+				}
+			}
+			if err := tree.check(); err != nil {
+				t.Fatalf("after op %#x: %v", b, err)
+			}
+			if tree.Len() != int64(len(oracle)) {
+				t.Fatalf("Len = %d, oracle %d", tree.Len(), len(oracle))
+			}
+		}
+		// Final sweep: full ordered listing and a mid-size prefix.
+		all := tree.InOrder()
+		for i, row := range all {
+			if !row.Equal(oracle[i].row) {
+				t.Fatalf("InOrder[%d] = %v, oracle %v", i, row, oracle[i].row)
+			}
+		}
+		k := len(all) / 2
+		for i, row := range tree.Prefix(k) {
+			if !row.Equal(oracle[i].row) {
+				t.Fatalf("Prefix(%d)[%d] = %v, oracle %v", k, i, row, oracle[i].row)
+			}
+		}
+	})
+}

@@ -30,6 +30,9 @@ type Prepared struct {
 	droot       dnode  // stateful delta pipeline; nil when not delta-safe
 	deltaReason string // why droot is nil
 	primed      bool   // whether droot holds state consistent with the catalog
+
+	dsorts  []*dSort // order-statistic operators inside droot, in build order
+	ordRoot *dSort   // droot itself when the plan's root is ORDER BY [LIMIT]
 }
 
 // Plan returns the underlying logical plan (EXPLAIN-style output).
@@ -72,12 +75,64 @@ func Prepare(n plan.Node, funcs *expr.Registry) (*Prepared, error) {
 	p := &Prepared{root: root, src: n}
 	if ok, why := plan.DeltaSafety(n); !ok {
 		p.deltaReason = why
-	} else if droot, ok := buildDelta(root); ok {
+		return p, nil
+	}
+	db := &deltaBuilder{}
+	if droot, ok := db.build(root); ok {
 		p.droot = droot
+		p.dsorts = db.sorts
+		if ds, ok := droot.(*dSort); ok {
+			p.ordRoot = ds
+		}
 	} else {
 		p.deltaReason = "operator compiled without static evaluators"
 	}
 	return p, nil
+}
+
+// Ordered reports whether the delta pipeline's root is an ORDER BY (with or
+// without LIMIT): its maintained output has a meaningful row order, and
+// callers patching a materialized relation with ApplyDelta's output should
+// replace the rows with OrderedRows afterwards.
+func (p *Prepared) Ordered() bool { return p.ordRoot != nil }
+
+// OrderedRows returns the pipeline's current output in maintained order (a
+// fresh slice). Only meaningful when Ordered() and the pipeline is primed.
+func (p *Prepared) OrderedRows() []relation.Tuple {
+	if p.ordRoot == nil || !p.primed {
+		return nil
+	}
+	return p.ordRoot.orderedRows()
+}
+
+// OrderRows sorts rows in place into an Ordered() plan's output order
+// (ORDER BY keys, full-tuple tie-break), without touching pipeline state.
+// The engine uses it to re-establish row order after rollback/undo/version
+// restore rewrote an ordered view's contents through bag-level deltas (the
+// restored bag is exact; only the presentation order is lost), and for
+// versioned reads of ordered views. No-op for unordered plans.
+func (p *Prepared) OrderRows(rows []relation.Tuple) error {
+	if p.ordRoot == nil {
+		return nil
+	}
+	return p.ordRoot.sortRows(rows)
+}
+
+// TakeTopKStats drains the order-statistic counters accumulated since the
+// last call (PrefixEmits, Evictions) and snapshots the current tree sizes
+// (TreeRows). Zero-value result means the plan has no ordered operators or
+// nothing happened.
+func (p *Prepared) TakeTopKStats() TopKStats {
+	var out TopKStats
+	for _, ds := range p.dsorts {
+		out.PrefixEmits += ds.stats.PrefixEmits
+		out.Evictions += ds.stats.Evictions
+		ds.stats.PrefixEmits, ds.stats.Evictions = 0, 0
+		if ds.tree != nil {
+			out.TreeRows += ds.tree.Len()
+		}
+	}
+	return out
 }
 
 func prep(n plan.Node, funcs *expr.Registry) (bnode, error) {

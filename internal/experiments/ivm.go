@@ -24,14 +24,10 @@ import (
 // IVMDims are the grouped charts of the join-based crossfilter.
 var IVMDims = []string{"region", "segment", "month", "weekday"}
 
-// BuildIVMCrossfilterProgram returns the DeVIL program of the join-based
-// crossfilter. Sales starts empty — load data with LoadIVMSales so million-
-// row runs skip the text parser. Revenue is integral, which keeps
-// incremental sums bit-identical to recomputed ones (integer arithmetic is
-// order-independent; float sums are not).
-func BuildIVMCrossfilterProgram() string {
-	var b strings.Builder
-	b.WriteString(`
+// crossfilterPrelude is the shared base of the join-driven workloads (IVM
+// and top-k): the Sales table, the month axis, the drag recognizer, and the
+// month-selection view the brush drives.
+const crossfilterPrelude = `
 CREATE TABLE Sales (orderId int, region string, segment string, year int, month int, weekday int, revenue int);
 
 CREATE TABLE MonthAxis (month int, x int);
@@ -50,7 +46,16 @@ selected_months =
   SELECT ma.month AS month FROM MonthAxis AS ma
   WHERE (SELECT count(*) FROM C) = 0
      OR (ma.x >= (SELECT min(x) FROM C) AND ma.x <= (SELECT max(x + dx) FROM C));
-`)
+`
+
+// BuildIVMCrossfilterProgram returns the DeVIL program of the join-based
+// crossfilter. Sales starts empty — load data with LoadIVMSales so million-
+// row runs skip the text parser. Revenue is integral, which keeps
+// incremental sums bit-identical to recomputed ones (integer arithmetic is
+// order-independent; float sums are not).
+func BuildIVMCrossfilterProgram() string {
+	var b strings.Builder
+	b.WriteString(crossfilterPrelude)
 	// One filtered aggregate per chart: Sales ⋈ selected_months, grouped.
 	// Delta-safe end to end: equi hash join + incremental SUM/COUNT.
 	for _, dim := range IVMDims {

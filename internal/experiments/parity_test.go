@@ -89,12 +89,58 @@ func assertEngineParity(t *testing.T, step string, inc, full *core.Engine) {
 	}
 }
 
+// assertOrderedViews compares the named views' materialized rows in exact
+// order: ordered (ORDER BY / LIMIT) views carry meaning in their row order,
+// so bag equality is not enough for them. cmp is the ground-truth total
+// order of the views' ORDER BY clause: both engines read the same store
+// reconstruction after an undo, so agreeing with each other is not enough —
+// the rows must actually *be* sorted.
+func assertOrderedViews(t *testing.T, step string, inc, full *core.Engine, names []string, cmp func(a, b relation.Tuple) int) {
+	t.Helper()
+	for _, name := range names {
+		ir, err := inc.Relation(name)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		fr, err := full.Relation(name)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		if len(ir.Rows) != len(fr.Rows) {
+			t.Fatalf("%s: ordered view %s: %d rows vs %d", step, name, len(ir.Rows), len(fr.Rows))
+		}
+		for i := range ir.Rows {
+			if !ir.Rows[i].Equal(fr.Rows[i]) {
+				t.Fatalf("%s: ordered view %s diverges at row %d: incremental %v vs full %v\nincremental:\n%s\nfull:\n%s",
+					step, name, i, ir.Rows[i], fr.Rows[i], ir, fr)
+			}
+			if cmp != nil && i > 0 && cmp(ir.Rows[i-1], ir.Rows[i]) > 0 {
+				t.Fatalf("%s: ordered view %s is not sorted at row %d: %v after %v\n%s",
+					step, name, i, ir.Rows[i], ir.Rows[i-1], ir)
+			}
+		}
+	}
+}
+
+// topKOrder is the ground-truth order of the top-k program's leaderboards:
+// rev DESC, oid ASC (schema: oid, rev).
+func topKOrder(a, b relation.Tuple) int {
+	if c := b[1].Compare(a[1]); c != 0 {
+		return c
+	}
+	return a[0].Compare(b[0])
+}
+
 func TestDeltaVsFullParity(t *testing.T) {
 	cases := []struct {
 		name string
 		mk   func(cfg core.Config) (*core.Engine, error)
 		// mutate optionally applies a mid-stream base-table write.
 		mutate func(e *core.Engine, round int) error
+		// ordered lists views whose row order must also match; orderedCmp is
+		// their ORDER BY clause as a ground-truth comparator.
+		ordered    []string
+		orderedCmp func(a, b relation.Tuple) int
 	}{
 		{
 			name: "crossfilter",
@@ -126,6 +172,31 @@ func TestDeltaVsFullParity(t *testing.T) {
 				return e.Exec(fmt.Sprintf("DELETE FROM Sales WHERE month = %d AND revenue < 300", 1+round%12))
 			},
 		},
+		{
+			name: "topk-crossfilter",
+			mk: func(cfg core.Config) (*core.Engine, error) {
+				// 140 rows: brushed months often hold fewer than k rows, so
+				// the maintained prefixes cross k > |rows| repeatedly.
+				return NewTopKEngine(140, 3, cfg)
+			},
+			mutate: func(e *core.Engine, round int) error {
+				switch round % 3 {
+				case 0:
+					// Lands at rank 1 of both leaderboards: evicts the k-th.
+					return e.Exec(fmt.Sprintf(
+						"INSERT INTO Sales VALUES (%d, 'EUROPE', 'BUILDING', 1997, %d, 3, %d)",
+						9000+round, 1+round%12, 50000+round))
+				case 1:
+					// Deletes exactly the boundary-crossing rows inserted
+					// above: successors promote back into the prefix.
+					return e.Exec("DELETE FROM Sales WHERE revenue >= 50000")
+				default:
+					return e.Exec(fmt.Sprintf("DELETE FROM Sales WHERE month = %d AND revenue < 500", 1+round%12))
+				}
+			},
+			ordered:    []string{"TOPALL", "TOPSEL"},
+			orderedCmp: topKOrder,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -137,7 +208,11 @@ func TestDeltaVsFullParity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			assertEngineParity(t, "after load", inc, full)
+			checkParity := func(step string) {
+				assertEngineParity(t, step, inc, full)
+				assertOrderedViews(t, step, inc, full, tc.ordered, tc.orderedCmp)
+			}
+			checkParity("after load")
 			rng := rand.New(rand.NewSource(11))
 			stream := randomDrags(rng, 6)
 			round, commits := 0, 0
@@ -153,7 +228,7 @@ func TestDeltaVsFullParity(t *testing.T) {
 				if ti != tf {
 					t.Fatalf("event %d: txn summaries diverge: %+v vs %+v", i, ti, tf)
 				}
-				assertEngineParity(t, fmt.Sprintf("after event %d (%s)", i, ev.Type), inc, full)
+				checkParity(fmt.Sprintf("after event %d (%s)", i, ev.Type))
 				// Between interactions, interleave base-table writes and the
 				// occasional undo so state restoration paths are covered.
 				if tc.mutate != nil && ti.Committed {
@@ -164,7 +239,7 @@ func TestDeltaVsFullParity(t *testing.T) {
 					if err := tc.mutate(full, round); err != nil {
 						t.Fatal(err)
 					}
-					assertEngineParity(t, fmt.Sprintf("after mutation %d", round), inc, full)
+					checkParity(fmt.Sprintf("after mutation %d", round))
 				}
 				if ti.Committed {
 					commits++
@@ -175,7 +250,7 @@ func TestDeltaVsFullParity(t *testing.T) {
 						if err := full.Undo(); err != nil {
 							t.Fatal(err)
 						}
-						assertEngineParity(t, "after undo", inc, full)
+						checkParity("after undo")
 					}
 				}
 			}
@@ -183,6 +258,106 @@ func TestDeltaVsFullParity(t *testing.T) {
 				t.Fatal("no events fed")
 			}
 		})
+	}
+}
+
+// TestUndoRestoresOrderedViewOrder: rollback/undo rewrite live contents
+// through the store's bag-level delta log, which restores the exact bag but
+// not row order. For ORDER BY views the order is part of the contract, so
+// the engine must re-sort them after any store-level restore — this used to
+// leave the restored rank row parked at the end of the leaderboard.
+func TestUndoRestoresOrderedViewOrder(t *testing.T) {
+	e, err := NewTopKEngine(200, 3, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several committed deletes of the current rank-3 row push the restore
+	// target past the initial checkpoint, so Undo reconstructs through
+	// inverted deltas (re-inserting each deleted row).
+	for i := 0; i < 6; i++ {
+		top, err := e.Relation("TOPALL")
+		if err != nil {
+			t.Fatal(err)
+		}
+		oid, _ := top.Rows[2][0].AsInt()
+		if err := e.Exec(fmt.Sprintf("DELETE FROM Sales WHERE orderId = %d", oid)); err != nil {
+			t.Fatal(err)
+		}
+		e.Commit()
+	}
+	if err := e.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"TOPALL", "TOPSEL"} {
+		rel, err := e.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(rel.Rows); i++ {
+			if topKOrder(rel.Rows[i-1], rel.Rows[i]) > 0 {
+				t.Fatalf("%s not sorted after undo: %v after %v\n%s", name, rel.Rows[i], rel.Rows[i-1], rel)
+			}
+		}
+	}
+	// Versioned reads of ordered views re-sort the reconstructed bag too.
+	past, err := e.RelationAt("TOPALL", relation.VersionRef{Kind: relation.VersionVNow, Offset: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(past.Rows); i++ {
+		if topKOrder(past.Rows[i-1], past.Rows[i]) > 0 {
+			t.Fatalf("TOPALL@vnow-3 not sorted: %v after %v\n%s", past.Rows[i], past.Rows[i-1], past)
+		}
+	}
+}
+
+// TestTopKDeltaPathActuallyUsed guards against the ordered-parity case
+// silently passing because every ORDER BY/LIMIT view fell back: brush and
+// single-row events must flow through the order-statistic pipelines, and a
+// boundary-crossing insert must evict the displaced k-th row.
+func TestTopKDeltaPathActuallyUsed(t *testing.T) {
+	e, err := NewTopKEngine(300, 3, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Stats = core.Stats{}
+	if _, err := e.FeedStream(IVMBrushStream(4)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.ViewDeltaApplies == 0 {
+		t.Fatal("brush events should flow through the delta path")
+	}
+	if e.Stats.TopK.TreeRows == 0 {
+		t.Fatal("order-statistic trees should hold rows after brushing")
+	}
+	before := e.Stats.TopK
+	// Rank-1 insert: must enter both leaderboards and evict their k-th rows
+	// as a ~2-row prefix delta, not a recompute.
+	fallbacks := e.Stats.FullFallbacks
+	if err := e.InsertRows("Sales", []relation.Tuple{TopKTickRow(300, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.TopK.Evictions <= before.Evictions {
+		t.Fatal("a rank-1 insert should evict the displaced k-th row")
+	}
+	if e.Stats.TopK.PrefixEmits <= before.PrefixEmits {
+		t.Fatal("a rank-1 insert should emit a prefix delta")
+	}
+	// The ordered views themselves must not have fallen back for this event
+	// (selected_months always does, by design — it is subquery-driven —
+	// but a single-row Sales insert leaves it untouched).
+	if e.Stats.FullFallbacks != fallbacks {
+		t.Fatalf("single-row insert caused %d full fallbacks", e.Stats.FullFallbacks-fallbacks)
+	}
+	top, err := e.Relation("TOPALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Rows) != TopKK {
+		t.Fatalf("TOPALL has %d rows, want %d", len(top.Rows), TopKK)
+	}
+	if rev, _ := top.Rows[0][1].AsInt(); rev < 100000 {
+		t.Fatalf("inserted rank-1 row missing from the maintained prefix head: %v", top.Rows[0])
 	}
 }
 

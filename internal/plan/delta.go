@@ -22,8 +22,11 @@ import (
 //   - expressions needing per-run resolution (scalar subqueries, IN over a
 //     relation): their value can change with relations the operator never
 //     sees a delta for;
-//   - ORDER BY and LIMIT: their output depends on total row order, which bag
-//     deltas do not preserve;
+//   - LIMIT without ORDER BY: its prefix depends on arbitrary row order,
+//     which bag deltas do not preserve (ORDER BY — with or without LIMIT —
+//     is safe: the executor maintains an order-statistic tree with
+//     deterministic full-tuple tie-breaking, so the sorted output and the
+//     top-k prefix both have exact delta rules);
 //   - aggregates whose output expressions read columns that are not grouping
 //     keys: those read the group's "representative" row, which full
 //     recomputation re-picks but a delta pipeline cannot.
@@ -69,12 +72,26 @@ func DeltaSafety(n Node) (bool, string) {
 		}
 		return DeltaSafety(t.R)
 	case *Sort:
-		return false, "ORDER BY output is order-sensitive"
+		return sortSafety(t)
 	case *Limit:
-		return false, "LIMIT output is order-sensitive"
+		// A LIMIT is incrementalizable only over an ORDER BY: the maintained
+		// total order makes the k-prefix (and therefore its delta) exact.
+		if s, ok := t.Child.(*Sort); ok {
+			return sortSafety(s)
+		}
+		return false, "LIMIT without ORDER BY output is order-sensitive"
 	default:
 		return false, fmt.Sprintf("plan node %T has no delta rule", n)
 	}
+}
+
+func sortSafety(s *Sort) (bool, string) {
+	for _, k := range s.Keys {
+		if expr.NeedsResolution(k.Expr) {
+			return false, "sort key needs per-run subquery/IN resolution"
+		}
+	}
+	return DeltaSafety(s.Child)
 }
 
 func projectSafety(p *Project) (bool, string) {

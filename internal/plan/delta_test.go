@@ -23,8 +23,12 @@ func TestDeltaSafety(t *testing.T) {
 		{sql: "SELECT k FROM Big INTERSECT SELECT k FROM Small", safe: true},
 		{sql: "SELECT k, count(*) AS n FROM Big GROUP BY k HAVING count(*) > 3", safe: true},
 
-		{sql: "SELECT id FROM Big ORDER BY id", safe: false, reason: "order-sensitive"},
+		{sql: "SELECT id FROM Big ORDER BY id", safe: true},
+		{sql: "SELECT id, k FROM Big ORDER BY k DESC, id LIMIT 3", safe: true},
+		{sql: "SELECT k, sum(id) AS s FROM Big GROUP BY k ORDER BY s DESC LIMIT 2", safe: true},
+
 		{sql: "SELECT id FROM Big LIMIT 3", safe: false, reason: "order-sensitive"},
+		{sql: "SELECT id FROM Big ORDER BY (SELECT max(k) FROM Small) LIMIT 3", safe: false, reason: "resolution"},
 		{sql: "SELECT id FROM Big@vnow-1", safe: false, reason: "version history"},
 		{sql: "SELECT id FROM Big@tnow-1", safe: false, reason: "version history"},
 		{sql: "SELECT id FROM Big WHERE k = (SELECT max(k) FROM Small)", safe: false, reason: "resolution"},
