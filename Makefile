@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race cover fuzz-smoke bench bench-exec bench-engine bench-ivm bench-version bench-topk bench-smoke
+.PHONY: check build vet test test-race cover fuzz-smoke bench bench-exec bench-engine bench-ivm bench-version bench-topk bench-serve bench-smoke
 
 check: build vet test
 
@@ -41,7 +41,7 @@ fuzz-smoke:
 
 # bench runs the executor microbenchmarks with allocation stats and writes
 # the experiment-series snapshot to BENCH_exec.json via cmd/dvms-bench.
-bench: bench-exec bench-engine bench-ivm bench-version bench-topk
+bench: bench-exec bench-engine bench-ivm bench-version bench-topk bench-serve
 
 bench-exec:
 	$(GO) test ./internal/exec -run '^$$' -bench . -benchmem | tee BENCH_exec_micro.txt
@@ -75,15 +75,26 @@ bench-topk:
 	$(GO) run ./cmd/dvms-bench -experiment topk -n 1000000 -format json > BENCH_topk.json
 	@echo "wrote BENCH_topk_micro.txt and BENCH_topk.json"
 
+# bench-serve records the multi-client serving trajectory: ≥10 sessions at
+# 1M shared rows, per-session steady-state brush vs the single-tenant delta
+# path, shared-state instantiation counters, and the shared-vs-private
+# memory split (BENCH_serve.json), plus the session-rotation micro.
+bench-serve:
+	$(GO) test ./internal/server -run '^$$' -bench 'BenchmarkServeFanout' -benchmem | tee BENCH_serve_micro.txt
+	$(GO) run ./cmd/dvms-bench -experiment serve -n 1000000 -sessions 10 -format json > BENCH_serve.json
+	@echo "wrote BENCH_serve_micro.txt and BENCH_serve.json"
+
 # bench-smoke is the short-form CI benchmark: proves the benchmark harness
 # runs end to end without committing CI minutes to full sizes. The small-n
-# top-k run lands in BENCH_topk_smoke.json (gitignored) so it never clobbers
-# the committed full-size BENCH_topk.json trajectory; CI publishes both.
+# top-k and serve runs land in *_smoke.json (gitignored) so they never
+# clobber the committed full-size trajectories; CI publishes both.
 bench-smoke:
 	$(GO) run ./cmd/dvms-bench -experiment ivm -n 2000 -format json > /dev/null
 	$(GO) run ./cmd/dvms-bench -experiment a1 -n 300 -format json > /dev/null
 	$(GO) run ./cmd/dvms-bench -experiment version -n 2000 -format json > /dev/null
 	$(GO) run ./cmd/dvms-bench -experiment topk -n 2000 -format json > BENCH_topk_smoke.json
+	$(GO) run ./cmd/dvms-bench -experiment serve -n 2000 -sessions 4 -format json > BENCH_serve_smoke.json
 	$(GO) test . -run '^$$' -bench 'BenchmarkIVMBrush/n10000$$/' -benchtime 1x > /dev/null
 	$(GO) test . -run '^$$' -bench 'BenchmarkTopKBrush/n10000/tick' -benchtime 1x > /dev/null
+	$(GO) test ./internal/server -run '^$$' -bench 'BenchmarkServeFanout/n10000/s10' -benchtime 1x > /dev/null
 	@echo "benchmark smoke OK"

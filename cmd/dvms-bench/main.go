@@ -21,21 +21,22 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "one of: fig1 fig2 table1 deVIL4 fig5 fig5-trend fig6 fig7 stream a1 a2 e2e ivm version topk all")
+		experiment   = flag.String("experiment", "all", "one of: fig1 fig2 table1 deVIL4 fig5 fig5-trend fig6 fig7 stream a1 a2 e2e ivm version topk serve all")
 		n            = flag.Int("n", 2000, "workload size (rows/products/queries, experiment dependent)")
+		sessions     = flag.Int("sessions", 10, "concurrent sessions for the serve experiment")
 		participants = flag.Int("participants", 40, "simulated participants for fig5")
 		seed         = flag.Int64("seed", 7, "workload seed")
 		format       = flag.String("format", "text", "output format: text or json (machine-readable, for BENCH_*.json trajectories)")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *format, *n, *participants, *seed); err != nil {
+	if err := run(*experiment, *format, *n, *sessions, *participants, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "dvms-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, format string, n, participants int, seed int64) (err error) {
+func run(experiment, format string, n, sessions, participants int, seed int64) (err error) {
 	if format != "text" && format != "json" {
 		return fmt.Errorf("unknown format %q (want text or json)", format)
 	}
@@ -103,6 +104,14 @@ func run(experiment, format string, n, participants int, seed int64) (err error)
 			sizes = []int{n / 10, n}
 		}
 		return print(experiments.VersioningExperiment(sizes, 40, seed))
+	case "serve":
+		// Fan-out trajectory: 1 session (pure overhead vs single-tenant)
+		// and the full -sessions count, at base size -n.
+		counts := []int{1, sessions}
+		if sessions <= 1 {
+			counts = []int{sessions}
+		}
+		return print(experiments.ServeScaling(n, counts, 6, seed))
 	case "topk":
 		// -n sets the largest size; smaller decades show the scaling trend.
 		sizes := []int{n}

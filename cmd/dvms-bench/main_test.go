@@ -21,14 +21,14 @@ func TestRunSingleExperiments(t *testing.T) {
 		{"a1", 100},
 	}
 	for _, c := range cases {
-		if err := run(c.experiment, "text", c.n, 5, 1); err != nil {
+		if err := run(c.experiment, "text", c.n, 2, 5, 1); err != nil {
 			t.Errorf("experiment %s: %v", c.experiment, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", "text", 10, 5, 1); err == nil {
+	if err := run("bogus", "text", 10, 2, 5, 1); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
 }
@@ -42,7 +42,7 @@ func TestRunJSONFormat(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run("table1", "json", 10, 5, 1)
+	runErr := run("table1", "json", 10, 2, 5, 1)
 	w.Close()
 	os.Stdout = old
 	out, err := io.ReadAll(r)
@@ -62,7 +62,7 @@ func TestRunJSONFormat(t *testing.T) {
 }
 
 func TestRunUnknownFormat(t *testing.T) {
-	if err := run("table1", "jsn", 10, 5, 1); err == nil {
+	if err := run("table1", "jsn", 10, 2, 5, 1); err == nil {
 		t.Fatal("unknown format should error")
 	}
 }

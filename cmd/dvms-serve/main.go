@@ -1,0 +1,192 @@
+// Command dvms-serve exposes a multi-client DVMS session server over TCP.
+// Each connection is one session: it owns its private selection state and
+// framebuffer while sharing the base data, the selection-independent views,
+// and the data-sized join build states with every other connected client.
+//
+// The protocol is newline-delimited JSON, one request per line:
+//
+//	{"op":"event","type":"MOUSE_DOWN","t":0,"x":35,"y":40}
+//	{"op":"event","type":"KEY_PRESS","t":9,"key":"z"}
+//	{"op":"relation","name":"FILT_region"}
+//	{"op":"query","q":"SELECT count(*) FROM Sales"}
+//	{"op":"undo"}
+//	{"op":"stats"}
+//	{"op":"ping"}
+//
+// Responses are one JSON object per line: {"ok":true,...} or
+// {"ok":false,"error":"..."}.
+//
+// Usage:
+//
+//	dvms-serve -addr :7077 -workload ivm -n 100000
+//	dvms-serve -addr :7077 -program crossfilter.devil
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/experiments"
+	"repro/internal/protocol"
+	"repro/internal/relation"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7077", "listen address")
+		program     = flag.String("program", "", "DeVIL program file (overrides -workload)")
+		workloadID  = flag.String("workload", "ivm", "builtin workload: ivm (join-based crossfilter)")
+		n           = flag.Int("n", 100000, "base rows for the builtin workload")
+		seed        = flag.Int64("seed", 7, "workload seed")
+		maxSessions = flag.Int("max-sessions", 0, "session cap (0 = unlimited)")
+		idle        = flag.Duration("idle-timeout", 10*time.Minute, "idle session eviction age")
+	)
+	flag.Parse()
+	if err := run(*addr, *program, *workloadID, *n, *seed, *maxSessions, *idle); err != nil {
+		fmt.Fprintln(os.Stderr, "dvms-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, programPath, workloadID string, n int, seed int64, maxSessions int, idle time.Duration) error {
+	var src string
+	var load func(*server.Server) error
+	switch {
+	case programPath != "":
+		b, err := os.ReadFile(programPath)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+		load = func(*server.Server) error { return nil }
+	case workloadID == "ivm":
+		src = experiments.BuildIVMCrossfilterProgram()
+		load = func(s *server.Server) error {
+			return s.InsertRows("Sales", experiments.IVMSalesTuples(n, seed))
+		}
+	default:
+		return fmt.Errorf("unknown workload %q", workloadID)
+	}
+	srv, err := server.New(server.Config{MaxSessions: maxSessions, IdleTimeout: idle}, src)
+	if err != nil {
+		return err
+	}
+	if err := load(srv); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("dvms-serve: listening on %s (%d base relations loaded)", ln.Addr(), len(srv.Base().Store().Names()))
+	if idle > 0 {
+		go func() {
+			for range time.Tick(idle / 2) {
+				if evicted := srv.EvictIdle(idle); evicted > 0 {
+					log.Printf("dvms-serve: evicted %d idle sessions", evicted)
+				}
+			}
+		}()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(srv, conn)
+	}
+}
+
+func serveConn(srv *server.Server, conn net.Conn) {
+	defer conn.Close()
+	sess, err := srv.Attach()
+	if err != nil {
+		protocol.WriteResponse(conn, protocol.Response{Error: err.Error()})
+		return
+	}
+	defer sess.Detach()
+	log.Printf("dvms-serve: session %d attached (%s)", sess.ID(), conn.RemoteAddr())
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		resp := handle(srv, sess, line)
+		if err := protocol.WriteResponse(conn, resp); err != nil {
+			break
+		}
+	}
+	log.Printf("dvms-serve: session %d detached", sess.ID())
+}
+
+func handle(srv *server.Server, sess *server.Session, line []byte) protocol.Response {
+	req, err := protocol.ParseRequest(line)
+	if err != nil {
+		return protocol.Response{Error: err.Error()}
+	}
+	switch req.Op {
+	case "ping":
+		return protocol.Response{OK: true, Session: sess.ID()}
+	case "event":
+		var ev events.Event
+		if req.Type == events.KeyPress {
+			ev = events.Key(req.T, req.Key)
+		} else {
+			ev = events.Mouse(req.Type, req.T, req.X, req.Y)
+		}
+		te, err := sess.Feed(ev)
+		if err != nil {
+			return protocol.Response{Error: err.Error()}
+		}
+		return protocol.Response{
+			OK: true, Session: sess.ID(),
+			Interaction: te.Interaction, Began: te.Began,
+			Committed: te.Committed, Aborted: te.Aborted,
+			RowsEmitted: te.RowsEmitted, Version: te.Version,
+		}
+	case "relation":
+		rel, err := sess.Relation(req.Name)
+		if err != nil {
+			return protocol.Response{Error: err.Error()}
+		}
+		return relationResponse(sess.ID(), rel)
+	case "query":
+		rel, err := sess.Query(req.Q)
+		if err != nil {
+			return protocol.Response{Error: err.Error()}
+		}
+		return relationResponse(sess.ID(), rel)
+	case "undo":
+		if err := sess.Undo(); err != nil {
+			return protocol.Response{Error: err.Error()}
+		}
+		return protocol.Response{OK: true, Session: sess.ID()}
+	case "stats":
+		st, err := sess.Stats()
+		if err != nil {
+			return protocol.Response{Error: err.Error()}
+		}
+		server := srv.Stats()
+		return protocol.Response{OK: true, Session: sess.ID(), Stats: &st, Server: &server}
+	default:
+		return protocol.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func relationResponse(id int, rel *relation.Relation) protocol.Response {
+	resp := protocol.Response{OK: true, Session: id, Columns: rel.Schema.Names()}
+	resp.Rows = make([][]any, len(rel.Rows))
+	for i, row := range rel.Rows {
+		resp.Rows[i] = protocol.EncodeRow(row)
+	}
+	return resp
+}

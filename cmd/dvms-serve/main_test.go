@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/protocol"
+	"repro/internal/server"
+)
+
+// startTestServer runs the accept loop on an ephemeral port over a small
+// IVM workload and returns the address.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	srv, err := server.New(server.Config{}, experiments.BuildIVMCrossfilterProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InsertRows("Sales", experiments.IVMSalesTuples(500, 7)); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serveConn(srv, conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+type testClient struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialClient(t *testing.T, addr string) *testClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &testClient{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *testClient) roundTrip(req string) protocol.Response {
+	c.t.Helper()
+	if _, err := fmt.Fprintln(c.conn, req); err != nil {
+		c.t.Fatalf("write: %v", err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	var resp protocol.Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		c.t.Fatalf("decode %q: %v", line, err)
+	}
+	return resp
+}
+
+func (c *testClient) must(req string) protocol.Response {
+	c.t.Helper()
+	resp := c.roundTrip(req)
+	if !resp.OK {
+		c.t.Fatalf("%s failed: %s", req, resp.Error)
+	}
+	return resp
+}
+
+// brush drives a down-move-…-up drag selecting the first k month buckets.
+func (c *testClient) brush(k int) {
+	c.t.Helper()
+	c.must(`{"op":"event","type":"MOUSE_DOWN","t":0,"x":35,"y":40}`)
+	for i := 0; i <= k; i++ {
+		c.must(fmt.Sprintf(`{"op":"event","type":"MOUSE_MOVE","t":%d,"x":%d,"y":45}`, i+1, 45+20*i))
+	}
+	resp := c.must(fmt.Sprintf(`{"op":"event","type":"MOUSE_UP","t":%d,"x":%d,"y":45}`, k+2, 45+20*k))
+	if !resp.Committed {
+		c.t.Fatalf("drag should commit, got %+v", resp)
+	}
+}
+
+// TestProtocolSessions drives two concurrent clients with different
+// brushes and checks their selections are isolated while shared relations
+// are visible to both.
+func TestProtocolSessions(t *testing.T) {
+	addr := startTestServer(t)
+	c1 := dialClient(t, addr)
+	c2 := dialClient(t, addr)
+
+	p1 := c1.must(`{"op":"ping"}`)
+	p2 := c2.must(`{"op":"ping"}`)
+	if p1.Session == p2.Session {
+		t.Fatalf("connections share a session id: %d", p1.Session)
+	}
+
+	// Concurrent brushing: client 1 selects 1 month, client 2 selects 6.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); c1.brush(0) }()
+	go func() { defer wg.Done(); c2.brush(5) }()
+	wg.Wait()
+
+	r1 := c1.must(`{"op":"relation","name":"selected_months"}`)
+	r2 := c2.must(`{"op":"relation","name":"selected_months"}`)
+	if len(r1.Rows) != 1 || len(r2.Rows) != 6 {
+		t.Fatalf("selections not isolated: c1=%d months, c2=%d months", len(r1.Rows), len(r2.Rows))
+	}
+
+	// Both see the same shared relation through the catalog chain.
+	s1 := c1.must(`{"op":"query","q":"SELECT count(*) FROM Sales"}`)
+	s2 := c2.must(`{"op":"query","q":"SELECT count(*) FROM Sales"}`)
+	if fmt.Sprint(s1.Rows) != fmt.Sprint(s2.Rows) {
+		t.Fatalf("shared reads diverge: %v vs %v", s1.Rows, s2.Rows)
+	}
+
+	// Stats round-trip exposes the share registry.
+	st := c1.must(`{"op":"stats"}`)
+	if st.Server == nil || st.Server.SharedSides == 0 {
+		t.Fatalf("server stats missing share registry: %+v", st.Server)
+	}
+	if st.Server.Sessions != 2 {
+		t.Fatalf("server sees %d sessions, want 2", st.Server.Sessions)
+	}
+
+	// Undo rewinds client 2's committed brush; client 1 is untouched.
+	c2.must(`{"op":"undo"}`)
+	r2 = c2.must(`{"op":"relation","name":"selected_months"}`)
+	if len(r2.Rows) != 12 {
+		t.Fatalf("undo should restore the all-months selection, got %d", len(r2.Rows))
+	}
+	r1 = c1.must(`{"op":"relation","name":"selected_months"}`)
+	if len(r1.Rows) != 1 {
+		t.Fatalf("client 1 selection changed by client 2 undo: %d months", len(r1.Rows))
+	}
+
+	// Errors are reported in-band, not by dropping the connection.
+	if resp := c1.roundTrip(`{"op":"relation","name":"nope"}`); resp.OK || resp.Error == "" {
+		t.Fatalf("want in-band error, got %+v", resp)
+	}
+	if resp := c1.roundTrip(`{"op":"frobnicate"}`); resp.OK {
+		t.Fatalf("unknown op should error, got %+v", resp)
+	}
+	c1.must(`{"op":"ping"}`)
+}

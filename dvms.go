@@ -210,8 +210,10 @@ func (s *System) Views() []string { return s.eng.ViewNames() }
 // RegisterFunc installs a pure scalar UDF; call before Load.
 func (s *System) RegisterFunc(f Func) { s.eng.Funcs().Register(f) }
 
-// Stats exposes engine work counters (view recomputes, renders, commits).
-func (s *System) Stats() core.Stats { return s.eng.Stats }
+// Stats exposes engine work counters (view recomputes, renders, commits),
+// snapshotted under the engine lock so concurrent hosts read them without
+// tearing.
+func (s *System) Stats() core.Stats { return s.eng.StatsSnapshot() }
 
 // Deconstruct recovers the data bound to each mark of a marks view from
 // provenance (§3.1 deconstruction/restyling): the result joins mark

@@ -19,6 +19,8 @@ import (
 // Restyling is then just another DeVIL view over the deconstructed
 // relation, with new visual encodings.
 func (e *Engine) Deconstruct(markView, base string) (*relation.Relation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	v, ok := e.views[strings.ToLower(markView)]
 	if !ok {
 		return nil, fmt.Errorf("deconstruct: %q is not a view", markView)
@@ -65,6 +67,8 @@ func (e *Engine) Deconstruct(markView, base string) (*relation.Relation, error) 
 // ("provenance can identify input-output dependencies between operators of
 // the workflow").
 func (e *Engine) ExplainView(name string) (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	v, ok := e.views[strings.ToLower(name)]
 	if !ok {
 		return "", fmt.Errorf("explain: %q is not a view", name)
@@ -72,7 +76,7 @@ func (e *Engine) ExplainView(name string) (string, error) {
 	if v.isTrace {
 		return fmt.Sprintf("TraceView %s (evaluated by the provenance tracer)\n", v.name), nil
 	}
-	p, err := plan.Build(v.query, e.store)
+	p, err := plan.Build(v.query, e.catalog())
 	if err != nil {
 		return "", err
 	}
@@ -85,6 +89,8 @@ func (e *Engine) ExplainView(name string) (string, error) {
 // event relations with row counts, view dependencies in evaluation order,
 // recognizer states, and version history depth.
 func (e *Engine) DebugReport() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var b strings.Builder
 	b.WriteString("=== DVMS debug report ===\n")
 	fmt.Fprintf(&b, "committed versions: %d; in transaction: %v\n",
@@ -146,6 +152,8 @@ func (e *Engine) DebugReport() string {
 // engines, §3.1's "visualization explanation" use case): for each output
 // row index in rows, the contributing row indices of the base relation.
 func (e *Engine) Lineage(view string, rows []int, base string) ([][]int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	v, ok := e.views[strings.ToLower(view)]
 	if !ok {
 		return nil, fmt.Errorf("lineage: %q is not a view", view)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/events"
 	"repro/internal/exec"
@@ -50,6 +51,12 @@ type TxnEvent struct {
 // recognizes interactions, manages versions and transactions, and renders
 // marks to pixels.
 type Engine struct {
+	// mu serializes all public entry points, so an Engine is safe to drive
+	// from multiple goroutines (the session server relies on this) and
+	// Stats can be snapshotted without tearing. Single-tenant hosts pay one
+	// uncontended lock per call.
+	mu sync.Mutex
+
 	cfg   Config
 	store *Store
 	funcs *expr.Registry
@@ -59,6 +66,15 @@ type Engine struct {
 	topo      []string         // recompute order (topological)
 	deps      map[string][]string
 
+	// Multi-client serving hooks (AttachBase): base resolves relations not
+	// present in the private store (the server's shared database), baseHas
+	// reports their existence, and shares is the registry that lets this
+	// engine's delta pipelines reuse data-sized join build states across
+	// sessions. All nil for a single-tenant engine.
+	base    plan.Catalog
+	baseHas func(name string) bool
+	shares  *exec.ShareGroup
+
 	recognizers []*events.Recognizer
 	// activeTxn is the compound table name of the in-flight interaction.
 	activeTxn string
@@ -66,7 +82,8 @@ type Engine struct {
 	img      *render.Image
 	warnings []string
 
-	// stats for benchmarks and EXPERIMENTS.md
+	// stats for benchmarks and EXPERIMENTS.md. Direct field access is only
+	// safe single-threaded; concurrent hosts use StatsSnapshot/ResetStats.
 	Stats Stats
 }
 
@@ -139,21 +156,78 @@ func New(cfg Config) *Engine {
 // functions before loading programs.
 func (e *Engine) Funcs() *expr.Registry { return e.funcs }
 
+// AttachBase hooks this engine into a multi-client server as one session:
+// relation lookups fall back to base (the shared database) when the private
+// store misses, has reports shared existence (for static validation), and
+// group lets the session's delta pipelines share data-sized join build
+// states with every other attached session. Must be called before any
+// program loads.
+func (e *Engine) AttachBase(base plan.Catalog, has func(name string) bool, group *exec.ShareGroup) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.base, e.baseHas, e.shares = base, has, group
+}
+
+// Close releases the engine's references on shared build-side states (the
+// server's registry evicts states when their last session releases). No-op
+// for single-tenant engines.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, v := range e.views {
+		if v.prepared != nil {
+			v.prepared.ReleaseShared()
+		}
+	}
+}
+
 // Warnings returns static-analysis warnings accumulated while loading
 // programs (e.g. ambiguous interaction pairs).
-func (e *Engine) Warnings() []string { return append([]string(nil), e.warnings...) }
+func (e *Engine) Warnings() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.warnings...)
+}
 
-// Image returns the engine framebuffer (the render sinks' target).
+// Image returns the engine framebuffer (the render sinks' target). The
+// pointer is stable for the engine's lifetime; concurrent hosts must not
+// read it while feeding events (use Pixels for a consistent copy).
 func (e *Engine) Image() *render.Image { return e.img }
 
 // Pixels materializes the pixels relation P(x,y,r,g,b,a) on demand (§2.1.1
 // models P as maintained by the rendering device, not materialized).
 func (e *Engine) Pixels(sparse bool) *relation.Relation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return render.PixelsRelation(e.img, sparse)
 }
 
-// Store exposes the storage manager (read-only use expected).
+// Store exposes the storage manager (read-only use expected; not for
+// concurrent use while the engine is being driven).
 func (e *Engine) Store() *Store { return e.store }
+
+// StatsSnapshot returns a copy of the engine counters taken under the
+// engine lock, so concurrent sessions can read stats without tearing.
+func (e *Engine) StatsSnapshot() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Stats
+}
+
+// ResetStats zeroes the engine counters under the engine lock.
+func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.Stats = Stats{}
+}
+
+// ApproxBytes estimates the live store's memory under the engine lock (safe
+// while the engine is being driven concurrently).
+func (e *Engine) ApproxBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.ApproxBytes()
+}
 
 // LoadProgram parses and applies a DeVIL program: DDL creates base tables,
 // INSERTs load data, assignments define views, EVENT statements compile
@@ -161,16 +235,37 @@ func (e *Engine) Store() *Store { return e.store }
 // and the state is committed as version 0 so that @vnow-1 references resolve
 // during the first interaction.
 func (e *Engine) LoadProgram(src string) error {
-	if err := e.Exec(src); err != nil {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.execSrc(src); err != nil {
 		return err
 	}
-	e.Commit()
+	e.commit()
 	return nil
 }
 
 // Exec applies DeVIL statements without the final commit; use it for
 // incremental statements after LoadProgram.
 func (e *Engine) Exec(src string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.execSrc(src)
+}
+
+// ExecParsed applies already-parsed statements (the server splits one
+// parsed program across the shared engine and the sessions).
+func (e *Engine) ExecParsed(stmts []parser.Statement) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range stmts {
+		if err := e.execStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) execSrc(src string) error {
 	stmts, err := parser.Parse(src)
 	if err != nil {
 		return err
@@ -186,7 +281,7 @@ func (e *Engine) Exec(src string) error {
 func (e *Engine) execStmt(s parser.Statement) error {
 	switch n := s.(type) {
 	case *parser.CreateTableStmt:
-		if e.store.Has(n.Name) {
+		if e.hasRel(n.Name) {
 			return fmt.Errorf("relation %q already exists", n.Name)
 		}
 		e.store.Put(relation.New(n.Name, n.Schema))
@@ -205,6 +300,9 @@ func (e *Engine) execStmt(s parser.Statement) error {
 }
 
 func (e *Engine) execInsert(n *parser.InsertStmt) error {
+	if err := e.writableHere(n.Table); err != nil {
+		return err
+	}
 	target, err := e.store.Get(n.Table)
 	if err != nil {
 		return err
@@ -286,21 +384,59 @@ func appendAll(target *relation.Relation, rows []relation.Tuple) error {
 // equivalent of INSERT for bulk loads and event-driven writes — producing
 // an insert delta for incremental view maintenance.
 func (e *Engine) InsertRows(table string, rows []relation.Tuple) error {
+	_, err := e.InsertRowsDelta(table, rows)
+	return err
+}
+
+// InsertRowsDelta is InsertRows returning the full change map of the
+// refresh it triggered: the inserted base delta plus the output delta of
+// every view the change propagated to (nil marks an unknown change). The
+// server's single writer uses it to fan sealed base changes out to every
+// attached session.
+func (e *Engine) InsertRowsDelta(table string, rows []relation.Tuple) (map[string]*relation.Delta, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.writableHere(table); err != nil {
+		return nil, err
+	}
 	target, err := e.store.Get(table)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if e.isView(table) {
-		return fmt.Errorf("cannot insert into view %q", table)
+		return nil, fmt.Errorf("cannot insert into view %q", table)
 	}
 	if err := appendAll(target, rows); err != nil {
-		return err
+		return nil, err
 	}
 	e.store.recordChange(table, relation.Delta{Ins: rows})
-	return e.refresh(changeSet(table, &relation.Delta{Ins: rows}))
+	changes := changeSet(table, &relation.Delta{Ins: rows})
+	if err := e.refresh(changes); err != nil {
+		return nil, err
+	}
+	return changes, nil
+}
+
+// writableHere rejects writes to relations owned by the shared base of a
+// multi-client server: sessions read them, only the server's writer mutates
+// them. Single-tenant engines have no base and accept everything.
+func (e *Engine) writableHere(name string) error {
+	if !e.store.Has(name) && e.baseHas != nil && e.baseHas(name) {
+		return fmt.Errorf("relation %q is shared and read-only in this session (write through the server)", name)
+	}
+	return nil
+}
+
+// hasRel reports whether the name resolves here: the private store or the
+// shared base.
+func (e *Engine) hasRel(name string) bool {
+	return e.store.Has(name) || (e.baseHas != nil && e.baseHas(name))
 }
 
 func (e *Engine) execDelete(n *parser.DeleteStmt) error {
+	if err := e.writableHere(n.Table); err != nil {
+		return err
+	}
 	target, err := e.store.Get(n.Table)
 	if err != nil {
 		return err
@@ -365,7 +501,7 @@ func (e *Engine) defineEvent(stmt *parser.EventStmt) error {
 	if err != nil {
 		return err
 	}
-	if e.store.Has(stmt.Name) {
+	if e.hasRel(stmt.Name) {
 		return fmt.Errorf("relation %q already exists", stmt.Name)
 	}
 	for _, other := range e.recognizers {
@@ -399,15 +535,15 @@ func (e *Engine) defineView(stmt *parser.AssignStmt) error {
 	// Validate deps exist (they may be defined as views below/later in the
 	// program for vnow refs, but live deps must exist now).
 	for _, d := range v.deps {
-		if strings.EqualFold(d.name, stmt.Name) && d.cyclic() && !e.store.Has(stmt.Name) {
+		if strings.EqualFold(d.name, stmt.Name) && d.cyclic() && !e.hasRel(stmt.Name) {
 			return fmt.Errorf("recursive view definition: %s references itself; use @vnow-i or @tnow-j to reference past versions", stmt.Name)
 		}
-		if !e.store.Has(d.name) && !e.isView(d.name) {
+		if !e.hasRel(d.name) && !e.isView(d.name) {
 			return fmt.Errorf("view %s references unknown relation %q", stmt.Name, d.name)
 		}
 	}
 	_, redefinition := e.views[k]
-	if !redefinition && e.store.Has(stmt.Name) && !e.isView(stmt.Name) {
+	if !redefinition && e.hasRel(stmt.Name) && !e.isView(stmt.Name) {
 		return fmt.Errorf("cannot redefine base relation %q as a view", stmt.Name)
 	}
 	e.views[k] = v
@@ -425,15 +561,31 @@ func (e *Engine) defineView(stmt *parser.AssignStmt) error {
 	}
 	e.topo = topo
 	e.deps = dependents(e.views)
-	// A (re)definition can change schemas other bound plans were compiled
-	// against; they rebind lazily on their next recompute.
-	e.invalidatePlans()
+	// A (re)definition can only change schemas its transitive dependents
+	// were bound against; those rebind lazily on their next recompute.
+	// Unrelated views keep their compiled plans (and, under a server, their
+	// refcounted shared-state attachments — full invalidation would drop
+	// every reference between statements of a loading program, letting a
+	// concurrent detach evict the data-sized states mid-attach).
+	e.invalidatePlansFor(stmt.Name)
 	// Materialize now (full recompute of this view and its dependents; the
 	// nil delta marks an unknown change, so dependents recompute too —
 	// their cached plans were just invalidated, which also forces them to
 	// re-prime). The store accounts the (re)definition inside recomputeView.
 	if _, err := e.recomputeView(v); err != nil {
 		return err
+	}
+	// Satellite diagnostic: a bare LIMIT (no ORDER BY) can never take the
+	// incremental path — its prefix depends on arbitrary physical row
+	// order, which bag deltas do not preserve — so the view silently falls
+	// back to full recomputation on every change. Say so once, at
+	// definition time, instead of leaving the cost to be discovered in a
+	// profile. (ORDER BY + LIMIT is maintained exactly; see exec's
+	// order-statistic top-k.)
+	if v.prepared != nil && !v.prepared.DeltaSafe() &&
+		strings.Contains(v.prepared.DeltaReason(), "LIMIT without ORDER BY") {
+		e.warnings = append(e.warnings, fmt.Sprintf(
+			"view %s: LIMIT without ORDER BY falls back to full recomputation on every change (the prefix depends on arbitrary row order); add ORDER BY to enable incremental top-k maintenance", v.name))
 	}
 	return e.refresh(changeSet(stmt.Name, nil))
 }
@@ -444,24 +596,48 @@ func changeSet(name string, d *relation.Delta) map[string]*relation.Delta {
 	return map[string]*relation.Delta{strings.ToLower(name): d}
 }
 
+// catalog is the engine's name-resolution view: the private store, chained
+// to the shared base (when attached) for names the store misses.
+func (e *Engine) catalog() plan.Catalog {
+	if e.base == nil {
+		return e.store
+	}
+	return chainCatalog{e}
+}
+
+// chainCatalog resolves against the private store first, then the shared
+// base. Writes never go through it, so the fallback is read-only by
+// construction.
+type chainCatalog struct{ e *Engine }
+
+// Resolve implements plan.Catalog over the session's combined namespace.
+func (c chainCatalog) Resolve(name string, v relation.VersionRef) (*relation.Relation, error) {
+	if c.e.store.Has(name) {
+		return c.e.store.Resolve(name, v)
+	}
+	return c.e.base.Resolve(name, v)
+}
+
 // executor builds an executor over the live catalog.
 func (e *Engine) executor() *exec.Executor {
-	return &exec.Executor{Cat: e.store, Funcs: e.funcs}
+	return &exec.Executor{Cat: e.catalog(), Funcs: e.funcs}
 }
 
 // preparedFor returns the view's bound plan, building, optimizing, and
 // compiling it on first use. Every later recompute of the interaction loop
 // reuses the compiled evaluators; no per-event planning or name resolution.
+// Under a server (AttachBase) the pipeline binds against the combined
+// catalog and attaches to the shared-state registry.
 func (e *Engine) preparedFor(v *view) (*exec.Prepared, error) {
 	if v.prepared != nil {
 		return v.prepared, nil
 	}
-	p, err := plan.Build(v.query, e.store)
+	p, err := plan.Build(v.query, e.catalog())
 	if err != nil {
 		return nil, err
 	}
 	p = plan.Optimize(p, e.funcs)
-	prep, err := exec.Prepare(p, e.funcs)
+	prep, err := exec.PrepareShared(p, e.funcs, e.shares)
 	if err != nil {
 		return nil, err
 	}
@@ -469,12 +645,31 @@ func (e *Engine) preparedFor(v *view) (*exec.Prepared, error) {
 	return prep, nil
 }
 
-// invalidatePlans drops every view's bound plan. Called when a view is
-// (re)defined, since redefinition can change schemas the other plans were
-// bound against; data changes never require this.
-func (e *Engine) invalidatePlans() {
-	for _, v := range e.views {
-		v.prepared = nil
+// invalidatePlansFor drops the bound plans of name's transitive live
+// dependents, and of name itself when it is a view. Called on
+// (re)definition: only views whose plans could have been bound against the
+// changed schema need a rebind; data changes never require any. Shared-
+// state references are released first so the registry's refcounts stay
+// exact.
+func (e *Engine) invalidatePlansFor(name string) {
+	dirty := map[string]bool{}
+	var mark func(string)
+	mark = func(n string) {
+		k := strings.ToLower(n)
+		if dirty[k] {
+			return
+		}
+		dirty[k] = true
+		for _, d := range e.deps[k] {
+			mark(d)
+		}
+	}
+	mark(name)
+	for k, v := range e.views {
+		if dirty[k] && v.prepared != nil {
+			v.prepared.ReleaseShared()
+			v.prepared = nil
+		}
 	}
 }
 
@@ -796,6 +991,12 @@ func (e *Engine) sinkMarkType(v *view, rel *relation.Relation) (render.MarkType,
 // drives transaction begin/commit/abort. The returned TxnEvent summarizes
 // what happened.
 func (e *Engine) FeedEvent(ev events.Event) (TxnEvent, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.feedEvent(ev)
+}
+
+func (e *Engine) feedEvent(ev events.Event) (TxnEvent, error) {
 	e.Stats.EventsFed++
 	var out TxnEvent
 	consumed := false
@@ -846,7 +1047,7 @@ func (e *Engine) FeedEvent(ev events.Event) (TxnEvent, error) {
 		switch {
 		case acts.Committed:
 			out.Committed = true
-			out.Version = e.Commit()
+			out.Version = e.commit()
 			e.activeTxn = ""
 		case acts.Aborted:
 			out.Aborted = true
@@ -868,9 +1069,11 @@ func (e *Engine) FeedEvent(ev events.Event) (TxnEvent, error) {
 // FeedStream feeds a whole event stream, returning the transaction summary
 // of each event.
 func (e *Engine) FeedStream(stream events.Stream) ([]TxnEvent, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]TxnEvent, 0, len(stream))
 	for _, ev := range stream {
-		te, err := e.FeedEvent(ev)
+		te, err := e.feedEvent(ev)
 		if err != nil {
 			return out, err
 		}
@@ -879,9 +1082,28 @@ func (e *Engine) FeedStream(stream events.Stream) ([]TxnEvent, error) {
 	return out, nil
 }
 
+// ApplyExternalDeltas propagates changes to relations this engine does not
+// own — the shared base of a multi-client server — through the private view
+// graph: dirty views update by delta where possible and the framebuffer
+// re-renders if a sink changed. changes maps lowercase relation names to
+// deltas (nil marks an unknown change, forcing dependents to recompute);
+// the map is extended in place with the private views' own output deltas,
+// so callers must hand each engine its own copy.
+func (e *Engine) ApplyExternalDeltas(changes map[string]*relation.Delta) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.refresh(changes)
+}
+
 // Commit pushes the current state as a new committed version and returns
 // its index.
 func (e *Engine) Commit() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.commit()
+}
+
+func (e *Engine) commit() int {
 	e.Stats.Commits++
 	return e.store.Commit()
 }
@@ -913,6 +1135,8 @@ func (e *Engine) abort(compound string) error {
 // that state as a new version (so redo is a further Undo of depth 2, per
 // the versioning semantics of §2.1.3).
 func (e *Engine) Undo() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := e.store.RestoreVersion(2); err != nil {
 		return err
 	}
@@ -923,12 +1147,19 @@ func (e *Engine) Undo() error {
 	if err := e.render(); err != nil {
 		return err
 	}
-	e.Commit()
+	e.commit()
 	return nil
 }
 
-// Relation returns the current contents of a base relation or view.
+// Relation returns the current contents of a base relation or view; names
+// absent from the private store fall back to the shared base (server
+// sessions).
 func (e *Engine) Relation(name string) (*relation.Relation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.store.Has(name) && e.baseHas != nil && e.baseHas(name) {
+		return e.base.Resolve(name, relation.VersionRef{})
+	}
 	return e.store.Get(name)
 }
 
@@ -941,6 +1172,11 @@ func (e *Engine) Relation(name string) (*relation.Relation, error) {
 // current sort keys may not evaluate against — those come back in
 // reconstruction order, as before ordered maintenance existed.
 func (e *Engine) RelationAt(name string, v relation.VersionRef) (*relation.Relation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.store.Has(name) && e.baseHas != nil && e.baseHas(name) {
+		return e.base.Resolve(name, v)
+	}
 	rel, err := e.store.Resolve(name, v)
 	if err != nil {
 		return nil, err
@@ -959,6 +1195,8 @@ func (e *Engine) RelationAt(name string, v relation.VersionRef) (*relation.Relat
 
 // Query runs an ad-hoc DeVIL query against the current state.
 func (e *Engine) Query(src string) (*relation.Relation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	q, err := parser.ParseQuery(src)
 	if err != nil {
 		return nil, err
@@ -972,8 +1210,14 @@ func (e *Engine) Query(src string) (*relation.Relation, error) {
 
 // ViewNames lists views in definition order.
 func (e *Engine) ViewNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]string(nil), e.viewOrder...)
 }
 
 // InTxn reports whether an interaction is in flight.
-func (e *Engine) InTxn() bool { return e.activeTxn != "" }
+func (e *Engine) InTxn() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.activeTxn != ""
+}

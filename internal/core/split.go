@@ -1,0 +1,144 @@
+package core
+
+// Program partitioning for multi-client serving. A DeVIL program mixes two
+// kinds of state: the shared database every client sees the same way (base
+// tables, their bulk loads, and views that depend only on them — the
+// "selection-independent" charts), and the per-client interaction state
+// (compound event tables, selection views derived from them, and render
+// sinks, whose framebuffer is inherently per-client). SplitProgram
+// classifies each statement so a server can load the shared part once into
+// one engine and replay only the private part into every session.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/parser"
+)
+
+// ProgramSplit is a DeVIL program partitioned for serving.
+type ProgramSplit struct {
+	// Shared statements load once into the server's base engine: DDL,
+	// INSERT/DELETE bulk loads, and views whose transitive dependencies are
+	// all shared.
+	Shared []parser.Statement
+	// Private statements replay into each session's engine: EVENT
+	// definitions, views that (transitively) read interaction state, and
+	// every render sink.
+	Private []parser.Statement
+	// SharedNames / PrivateNames index the classification by lowercase
+	// relation name. SharedNames doubles as the share-eligibility predicate
+	// for the executor's state registry.
+	SharedNames  map[string]bool
+	PrivateNames map[string]bool
+}
+
+// SplitProgram parses and partitions a DeVIL program. It errors on shapes
+// serving cannot support: a write statement reading private state, or a
+// redefinition that would move a name between the shared and private
+// partitions.
+func SplitProgram(src string) (*ProgramSplit, error) {
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out := &ProgramSplit{
+		SharedNames:  map[string]bool{},
+		PrivateNames: map[string]bool{},
+	}
+	for _, s := range stmts {
+		if err := out.classify(s); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (ps *ProgramSplit) classify(s parser.Statement) error {
+	switch n := s.(type) {
+	case *parser.CreateTableStmt:
+		ps.SharedNames[strings.ToLower(n.Name)] = true
+		ps.Shared = append(ps.Shared, s)
+		return nil
+	case *parser.EventStmt:
+		ps.PrivateNames[strings.ToLower(n.Name)] = true
+		ps.Private = append(ps.Private, s)
+		return nil
+	case *parser.InsertStmt:
+		if deps := ps.privateDepsOf(queryStmtDeps(s)); len(deps) > 0 {
+			return fmt.Errorf("server split: INSERT INTO %s reads private state (%s); shared writes may only read shared relations", n.Table, strings.Join(deps, ", "))
+		}
+		if ps.PrivateNames[strings.ToLower(n.Table)] {
+			return fmt.Errorf("server split: INSERT INTO %s targets per-session state; feed events instead", n.Table)
+		}
+		ps.Shared = append(ps.Shared, s)
+		return nil
+	case *parser.DeleteStmt:
+		if ps.PrivateNames[strings.ToLower(n.Table)] {
+			return fmt.Errorf("server split: DELETE FROM %s targets per-session state", n.Table)
+		}
+		ps.Shared = append(ps.Shared, s)
+		return nil
+	case *parser.AssignStmt:
+		if n.Name == "" {
+			// Bare top-level SELECT: evaluated and discarded; replay per
+			// session (it may read private state, and has no shared effect).
+			ps.Private = append(ps.Private, s)
+			return nil
+		}
+		k := strings.ToLower(n.Name)
+		private := ps.isPrivateView(n)
+		if ps.SharedNames[k] && private {
+			return fmt.Errorf("server split: view %s was shared but its redefinition reads private state", n.Name)
+		}
+		if ps.PrivateNames[k] && !private {
+			// Once private, a name stays private: sessions already own it.
+			private = true
+		}
+		if private {
+			ps.PrivateNames[k] = true
+			ps.Private = append(ps.Private, s)
+		} else {
+			ps.SharedNames[k] = true
+			ps.Shared = append(ps.Shared, s)
+		}
+		return nil
+	default:
+		return fmt.Errorf("server split: unsupported statement %T", s)
+	}
+}
+
+// isPrivateView decides a view's partition: private when it renders (the
+// framebuffer is per-session), traces (the provenance tracer walks the
+// session's view graph), or reads any private relation — directly or
+// through an already-private view.
+func (ps *ProgramSplit) isPrivateView(n *parser.AssignStmt) bool {
+	if _, ok := n.Query.(*parser.RenderStmt); ok {
+		return true
+	}
+	if _, ok := n.Query.(*parser.TraceStmt); ok {
+		return true
+	}
+	return len(ps.privateDepsOf(queryDeps(n.Query))) > 0
+}
+
+// privateDepsOf filters a dependency list down to private names.
+func (ps *ProgramSplit) privateDepsOf(deps []dep) []string {
+	var out []string
+	for _, d := range deps {
+		if ps.PrivateNames[strings.ToLower(d.name)] {
+			out = append(out, d.name)
+		}
+	}
+	return out
+}
+
+// queryStmtDeps collects the relations an INSERT's source query reads (nil
+// for VALUES inserts).
+func queryStmtDeps(s parser.Statement) []dep {
+	n, ok := s.(*parser.InsertStmt)
+	if !ok || n.Query == nil {
+		return nil
+	}
+	return queryDeps(n.Query)
+}

@@ -263,6 +263,17 @@ func (s *Store) Get(name string) (*relation.Relation, error) {
 	return r, nil
 }
 
+// ApproxBytes estimates the live store's memory (row-pointer cost per
+// relation, the same accounting relBytes uses for checkpoints). The server
+// benchmarks use it for the shared-vs-private memory split.
+func (s *Store) ApproxBytes() int64 {
+	var b int64
+	for _, r := range s.rels {
+		b += relBytes(r)
+	}
+	return b
+}
+
 // Names lists relations in definition order.
 func (s *Store) Names() []string {
 	out := make([]string, len(s.names))

@@ -38,9 +38,14 @@ type dnode interface {
 
 // deltaBuilder mirrors the bound-operator tree with stateful delta
 // operators, collecting the order-statistic (dSort) nodes it creates so the
-// Prepared can surface their stats and ordered output.
+// Prepared can surface their stats and ordered output. With a non-nil group
+// (multi-client serving) it additionally marks join sides whose subtree
+// reads only shared relations for state sharing, collecting those joins so
+// the Prepared can release its references on close.
 type deltaBuilder struct {
-	sorts []*dSort
+	sorts  []*dSort
+	group  *ShareGroup
+	shared []*dJoin
 }
 
 // build returns false for shapes without a delta rule; callers gate on
@@ -79,7 +84,9 @@ func (db *deltaBuilder) build(b bnode) (dnode, bool) {
 		if !ok {
 			return nil, false
 		}
-		return &dJoin{b: t, l: l, r: r}, true
+		dj := &dJoin{b: t, l: l, r: r}
+		db.markShared(dj, t)
+		return dj, true
 	case *bAggregate:
 		if t.static == nil {
 			return nil, false
@@ -121,6 +128,91 @@ func (db *deltaBuilder) build(b bnode) (dnode, bool) {
 	}
 }
 
+// markShared checks the join's sides for state-sharing eligibility: a side
+// whose subtree reads only shared relations computes a state identical
+// across every session's pipeline, so it attaches to the group registry by
+// structural fingerprint instead of building its own copy. At most one side
+// of a join is ever shared — the writer advances shared states before the
+// sessions process a base-delta batch, and the join delta rule needs the
+// *other* side's pre-batch state (ΔL ⋈ R_old), which only holds when that
+// other side is session-private. The left (build) side is preferred.
+func (db *deltaBuilder) markShared(dj *dJoin, t *bJoin) {
+	if db.group == nil {
+		return
+	}
+	if fp, reads, ok := sideEligible(db.group, t.l); ok {
+		db.clearSharedMarks(dj.l)
+		dj.group, dj.lfp, dj.lreads = db.group, fp+sideKey(t.lkRaw, len(t.lks) > 0), reads
+		db.shared = append(db.shared, dj)
+		return
+	}
+	if fp, reads, ok := sideEligible(db.group, t.r); ok {
+		db.clearSharedMarks(dj.r)
+		dj.group, dj.rfp, dj.rreads = db.group, fp+sideKey(t.rkRaw, len(t.rks) > 0), reads
+		db.shared = append(db.shared, dj)
+	}
+}
+
+// clearSharedMarks unmarks shared attachments inside a subtree that is
+// about to be shared wholesale: the outer registry entry subsumes the
+// inner ones, and separate entries would advance in arbitrary map order —
+// an outer side advanced before its inner dependency reads a stale cached
+// delta and silently drops the batch. The canonical subtree's inner joins
+// keep ordinary private state, driven only through the outer side's feeder.
+func (db *deltaBuilder) clearSharedMarks(d dnode) {
+	switch t := d.(type) {
+	case *dFilter:
+		db.clearSharedMarks(t.child)
+	case *dProject:
+		db.clearSharedMarks(t.child)
+	case *dJoin:
+		if t.lfp != "" || t.rfp != "" {
+			t.group, t.lfp, t.rfp, t.lreads, t.rreads = nil, "", "", nil, nil
+			for i, dj := range db.shared {
+				if dj == t {
+					db.shared = append(db.shared[:i], db.shared[i+1:]...)
+					break
+				}
+			}
+		}
+		db.clearSharedMarks(t.l)
+		db.clearSharedMarks(t.r)
+	case *dAggregate:
+		db.clearSharedMarks(t.child)
+	case *dDistinct:
+		db.clearSharedMarks(t.child)
+	case *dSetOp:
+		db.clearSharedMarks(t.l)
+		db.clearSharedMarks(t.r)
+	case *dSort:
+		db.clearSharedMarks(t.child)
+	}
+}
+
+// sideEligible reports whether the subtree reads only shared relations (and
+// at least one), returning its fingerprint and read set.
+func sideEligible(g *ShareGroup, b bnode) (string, []string, bool) {
+	fp, reads, ok := bnodeInfo(b)
+	if !ok || len(reads) == 0 {
+		return "", nil, false
+	}
+	for _, r := range reads {
+		if !g.IsShared(r) {
+			return "", nil, false
+		}
+	}
+	return fp, reads, true
+}
+
+// sideKey extends a subtree fingerprint with the owning join's key shape:
+// the same subtree indexed by different keys is a different state.
+func sideKey(kraw []expr.Expr, keyed bool) string {
+	if !keyed {
+		return "|cross"
+	}
+	return "|k:" + exprList(kraw)
+}
+
 func (db *deltaBuilder) buildSort(s *bSort, limit int) (dnode, bool) {
 	if s.static == nil {
 		return nil, false // sort keys need per-run resolution
@@ -148,6 +240,12 @@ func (ex *Executor) RunStateful(p *Prepared) (*Result, error) {
 	if p.droot == nil {
 		return nil, fmt.Errorf("exec: plan is not incrementalizable (%s)", p.deltaReason)
 	}
+	if len(p.sharedJoins) > 0 {
+		// Priming may build and publish shared states; exclude both the
+		// writer and other sessions' probes for the duration.
+		p.group.mu.Lock()
+		defer p.group.mu.Unlock()
+	}
 	p.primed = false
 	p.droot.reset()
 	rows, err := p.droot.init(ex)
@@ -171,6 +269,13 @@ func (ex *Executor) ApplyDelta(p *Prepared, in map[string]relation.Delta) (relat
 	}
 	if !p.primed {
 		return relation.Delta{}, fmt.Errorf("exec: delta pipeline is not primed; call RunStateful first")
+	}
+	if len(p.sharedJoins) > 0 {
+		// Sessions only probe shared states (their private deltas cannot
+		// touch shared inputs, and base-delta fan-outs consume the writer's
+		// cached subtree deltas), so concurrent readers are safe.
+		p.group.mu.RLock()
+		defer p.group.mu.RUnlock()
 	}
 	out, err := p.droot.delta(ex, in)
 	if err != nil {
@@ -408,6 +513,77 @@ type dJoin struct {
 	l, r dnode
 	ls   *joinSideState
 	rs   *joinSideState
+
+	// Shared build sides (multi-client serving). When lfp/rfp is non-empty
+	// the corresponding state lives in the group registry: init attaches to
+	// (or builds) the shared entry instead of indexing locally, delta reads
+	// the writer's cached subtree delta and never mutates the shared state,
+	// and reset leaves both the attachment and the donated canonical
+	// subtree untouched. At most one side is shared (see markShared).
+	group          *ShareGroup
+	lfp, rfp       string
+	lreads, rreads []string
+	lSide, rSide   *sharedSide
+}
+
+// leftState resolves the current left-side state: the (possibly rebuilt)
+// shared entry, or the private index.
+func (d *dJoin) leftState() *joinSideState {
+	if d.lSide != nil {
+		return d.lSide.state
+	}
+	return d.ls
+}
+
+func (d *dJoin) rightState() *joinSideState {
+	if d.rSide != nil {
+		return d.rSide.state
+	}
+	return d.rs
+}
+
+// attachShared binds one side to its group entry, building and publishing
+// the state on first use (donating this pipeline's subtree as the canonical
+// feeder the writer will drive). Caller holds the group write lock (via
+// RunStateful). Attachments are refcounted once per pipeline and survive
+// resets; ReleaseShared drops them.
+func (d *dJoin) attachShared(ex *Executor, left bool) error {
+	if (left && d.lSide != nil) || (!left && d.rSide != nil) {
+		return nil // already attached; the shared state is current
+	}
+	fp, reads, sub, ks, kraw := d.rfp, d.rreads, d.r, d.b.rks, d.b.rkRaw
+	if left {
+		fp, reads, sub, ks, kraw = d.lfp, d.lreads, d.l, d.b.lks, d.b.lkRaw
+	}
+	sd := d.group.lookup(fp, reads)
+	if sd.built {
+		d.group.stats.Reuses++
+	} else {
+		sd.sub, sd.keys, sd.kraw, sd.keyed = sub, ks, kraw, len(ks) > 0
+		if err := sd.build(ex); err != nil {
+			return err
+		}
+		d.group.stats.Builds++
+	}
+	sd.refs++
+	if left {
+		d.lSide = sd
+	} else {
+		d.rSide = sd
+	}
+	return nil
+}
+
+// releaseShared drops this join's shared-state references (session detach).
+func (d *dJoin) releaseShared(g *ShareGroup) {
+	if d.lSide != nil {
+		g.release(d.lSide)
+		d.lSide = nil
+	}
+	if d.rSide != nil {
+		g.release(d.rSide)
+		d.rSide = nil
+	}
 }
 
 // residualOK applies the static residual predicate to the concatenation.
@@ -426,46 +602,39 @@ func (d *dJoin) residualOK(scratch relation.Tuple, env *expr.Env) (bool, error) 
 
 func (d *dJoin) init(ex *Executor) ([]relation.Tuple, error) {
 	d.reset()
-	lrows, err := d.l.init(ex)
-	if err != nil {
-		return nil, err
-	}
-	rrows, err := d.r.init(ex)
-	if err != nil {
-		return nil, err
-	}
 	keyed := len(d.b.lks) > 0
-	d.ls = newJoinSideState(keyed, len(lrows))
-	d.rs = newJoinSideState(keyed, len(rrows))
-	env := &expr.Env{}
-	key := make(relation.Tuple, len(d.b.lks))
-	for _, row := range lrows {
-		if keyed {
-			env.Row = row
-			null, err := evalKeys(d.b.lks, d.b.lkRaw, key, env)
-			if err != nil {
-				return nil, err
-			}
-			if null {
-				continue // NULL keys never match; keep them out of state
-			}
+	if d.lfp != "" {
+		if err := d.attachShared(ex, true); err != nil {
+			return nil, err
 		}
-		d.ls.add(key, row)
+	} else {
+		lrows, err := d.l.init(ex)
+		if err != nil {
+			return nil, err
+		}
+		if d.ls, err = buildState(lrows, d.b.lks, d.b.lkRaw, keyed); err != nil {
+			return nil, err
+		}
 	}
-	for _, row := range rrows {
-		if keyed {
-			env.Row = row
-			null, err := evalKeys(d.b.rks, d.b.rkRaw, key, env)
-			if err != nil {
-				return nil, err
-			}
-			if null {
-				continue
-			}
+	var rrows []relation.Tuple
+	if d.rfp != "" {
+		if err := d.attachShared(ex, false); err != nil {
+			return nil, err
 		}
-		d.rs.add(key, row)
+		rrows = d.rSide.ordered
+	} else {
+		var err error
+		if rrows, err = d.r.init(ex); err != nil {
+			return nil, err
+		}
+		if d.rs, err = buildState(rrows, d.b.rks, d.b.rkRaw, keyed); err != nil {
+			return nil, err
+		}
 	}
 	// Full output: probe the left state with every right row.
+	ls := d.leftState()
+	env := &expr.Env{}
+	key := make(relation.Tuple, len(d.b.lks))
 	out := make([]relation.Tuple, 0, len(rrows))
 	scratch := make(relation.Tuple, 0, d.b.lw+d.b.rw)
 	var arena valueArena
@@ -481,7 +650,7 @@ func (d *dJoin) init(ex *Executor) ([]relation.Tuple, error) {
 				continue
 			}
 		}
-		for _, lrow := range d.ls.matches(key) {
+		for _, lrow := range ls.matches(key) {
 			scratch = append(append(scratch[:0], lrow...), rrow...)
 			ok, err := d.residualOK(scratch, env)
 			if err != nil {
@@ -498,12 +667,19 @@ func (d *dJoin) init(ex *Executor) ([]relation.Tuple, error) {
 }
 
 func (d *dJoin) delta(ex *Executor, in map[string]relation.Delta) (relation.Delta, error) {
-	dl, err := d.l.delta(ex, in)
-	if err != nil {
+	var dl, dr relation.Delta
+	var err error
+	// Shared sides consume the writer's cached subtree delta (empty outside
+	// a base-data fan-out — private changes cannot touch shared inputs);
+	// private sides derive theirs from the input deltas as usual.
+	if d.lfp != "" {
+		dl = d.lSide.currentDelta()
+	} else if dl, err = d.l.delta(ex, in); err != nil {
 		return relation.Delta{}, err
 	}
-	dr, err := d.r.delta(ex, in)
-	if err != nil {
+	if d.rfp != "" {
+		dr = d.rSide.currentDelta()
+	} else if dr, err = d.r.delta(ex, in); err != nil {
 		return relation.Delta{}, err
 	}
 	if dl.Empty() && dr.Empty() {
@@ -549,8 +725,9 @@ func (d *dJoin) delta(ex *Executor, in map[string]relation.Delta) (relation.Delt
 
 	// ΔOut = ΔL ⋈ R_old  ∪  L_new ⋈ ΔR: process the left delta against the
 	// untouched right state, fold it into the left state, then process the
-	// right delta against the updated left state.
-	process := func(dd relation.Delta, ks []expr.Compiled, kraw []expr.Expr, state, other *joinSideState, left bool) error {
+	// right delta against the updated left state. Shared states are not
+	// mutated here — the writer already advanced them, once, before fan-out.
+	process := func(dd relation.Delta, ks []expr.Compiled, kraw []expr.Expr, state, other *joinSideState, left, mutate bool) error {
 		handle := func(rows []relation.Tuple, ins bool) error {
 			dst := &out.Ins
 			if !ins {
@@ -570,6 +747,9 @@ func (d *dJoin) delta(ex *Executor, in map[string]relation.Delta) (relation.Delt
 				if err := emitMatches(row, other, left, dst); err != nil {
 					return err
 				}
+				if !mutate {
+					continue
+				}
 				if ins {
 					state.add(key, row)
 				} else if err := state.remove(key, row); err != nil {
@@ -583,10 +763,10 @@ func (d *dJoin) delta(ex *Executor, in map[string]relation.Delta) (relation.Delt
 		}
 		return handle(dd.Del, false)
 	}
-	if err := process(dl, d.b.lks, d.b.lkRaw, d.ls, d.rs, true); err != nil {
+	if err := process(dl, d.b.lks, d.b.lkRaw, d.leftState(), d.rightState(), true, d.lfp == ""); err != nil {
 		return out, err
 	}
-	if err := process(dr, d.b.rks, d.b.rkRaw, d.rs, d.ls, false); err != nil {
+	if err := process(dr, d.b.rks, d.b.rkRaw, d.rightState(), d.leftState(), false, d.rfp == ""); err != nil {
 		return out, err
 	}
 	return out, nil
@@ -594,8 +774,15 @@ func (d *dJoin) delta(ex *Executor, in map[string]relation.Delta) (relation.Delt
 
 func (d *dJoin) reset() {
 	d.ls, d.rs = nil, nil
-	d.l.reset()
-	d.r.reset()
+	// Shared attachments (and the canonical subtree donated to the group)
+	// survive resets: the shared state tracks the shared base data, which a
+	// session-local reset says nothing about.
+	if d.lfp == "" {
+		d.l.reset()
+	}
+	if d.rfp == "" {
+		d.r.reset()
+	}
 }
 
 // --- aggregate ---

@@ -33,6 +33,14 @@ type Prepared struct {
 
 	dsorts  []*dSort // order-statistic operators inside droot, in build order
 	ordRoot *dSort   // droot itself when the plan's root is ORDER BY [LIMIT]
+
+	// group/sharedJoins carry the multi-client state-sharing attachment:
+	// joins inside droot whose build side lives in the group registry
+	// (PrepareShared). RunStateful/ApplyDelta take the group lock around
+	// pipeline work when sharedJoins is non-empty; ReleaseShared drops the
+	// refcounted attachments when the owning session detaches.
+	group       *ShareGroup
+	sharedJoins []*dJoin
 }
 
 // Plan returns the underlying logical plan (EXPLAIN-style output).
@@ -68,6 +76,14 @@ type bnode interface {
 // data changes; it is invalidated only when a referenced schema changes
 // (view redefinition — the engine handles that).
 func Prepare(n plan.Node, funcs *expr.Registry) (*Prepared, error) {
+	return PrepareShared(n, funcs, nil)
+}
+
+// PrepareShared is Prepare for pipelines hosted behind a multi-client
+// server: join build sides whose input subtree reads only the group's
+// shared relations attach to the group's refcounted state registry instead
+// of indexing their own copy. A nil group is plain single-tenant Prepare.
+func PrepareShared(n plan.Node, funcs *expr.Registry, group *ShareGroup) (*Prepared, error) {
 	root, err := prep(n, funcs)
 	if err != nil {
 		return nil, err
@@ -77,10 +93,12 @@ func Prepare(n plan.Node, funcs *expr.Registry) (*Prepared, error) {
 		p.deltaReason = why
 		return p, nil
 	}
-	db := &deltaBuilder{}
+	db := &deltaBuilder{group: group}
 	if droot, ok := db.build(root); ok {
 		p.droot = droot
 		p.dsorts = db.sorts
+		p.group = group
+		p.sharedJoins = db.shared
 		if ds, ok := droot.(*dSort); ok {
 			p.ordRoot = ds
 		}
@@ -88,6 +106,23 @@ func Prepare(n plan.Node, funcs *expr.Registry) (*Prepared, error) {
 		p.deltaReason = "operator compiled without static evaluators"
 	}
 	return p, nil
+}
+
+// SharesState reports whether the delta pipeline attaches to shared
+// build-side states (only possible for PrepareShared pipelines).
+func (p *Prepared) SharesState() bool { return len(p.sharedJoins) > 0 }
+
+// ReleaseShared drops the pipeline's refcounted shared-state attachments;
+// states whose last pipeline released are evicted from the group. Call when
+// the owning session detaches or the plan is invalidated. Safe on
+// single-tenant pipelines (no-op).
+func (p *Prepared) ReleaseShared() {
+	if p.group == nil {
+		return
+	}
+	for _, dj := range p.sharedJoins {
+		dj.releaseShared(p.group)
+	}
 }
 
 // Ordered reports whether the delta pipeline's root is an ORDER BY (with or

@@ -1,0 +1,491 @@
+package exec
+
+// Shared operator state across prepared pipelines. A multi-client server
+// hosts many sessions over the same base data; every session's delta
+// pipeline for a view like
+//
+//	SELECT ... FROM Sales AS s, selected_months AS m WHERE s.month = m.month
+//
+// would otherwise build its own copy of the large build-side join state
+// (Sales indexed by month — data-sized), even though that state depends only
+// on shared base relations and is bit-identical across sessions. A
+// ShareGroup is a registry of such states: when a delta pipeline is built
+// with PrepareShared, join sides whose input subtree reads only shared
+// relations are attached to a refcounted ShareGroup entry keyed by the
+// subtree's structural fingerprint. The first pipeline to prime builds the
+// state; every later pipeline (other sessions, or other views of the same
+// session joining through the same subtree) reuses it.
+//
+// Concurrency contract: sessions are readers, the server's writer is the
+// single mutator.
+//
+//   - RunStateful on a pipeline with shared sides takes the group's write
+//     lock (it may build and publish a state); ApplyDelta takes the read
+//     lock (it only probes shared states — session pipelines never mutate
+//     them, their private deltas cannot touch shared inputs).
+//   - Base-data changes go through Advance: the single writer applies each
+//     sealed base delta to every shared state exactly once (write lock),
+//     caching each side's subtree output delta. It then fans the same base
+//     deltas out to the sessions, whose pipelines read the cached subtree
+//     delta (currentDelta) instead of re-deriving — and re-applying — it.
+//   - EndAdvance clears the cached deltas once every session has consumed
+//     them.
+//
+// Delta ordering stays exact: the writer advances a shared side S to S_new
+// before any session processes the batch, and a session's join rule needs
+// ΔS ⋈ P_old (its private side P is untouched until it processes ΔP, which
+// is empty during a base-data fan-out) and S_new ⋈ ΔP on private changes
+// (probing the already-advanced shared state) — both of which hold. To keep
+// this true when a single join reads shared relations on both sides, only
+// one side of any join is ever shared (preferring the left/build side).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/relation"
+)
+
+// ShareStats counts the registry's work. Builds and Rebuilds tell the
+// server's benchmarks that data-sized state was instantiated once per
+// distinct fingerprint, not once per session; Reuses counts the pipeline
+// attachments served by an existing state.
+type ShareStats struct {
+	Builds    int64 // side states constructed from a full subtree evaluation
+	Rebuilds  int64 // states reconstructed by the writer (unknown base change)
+	Reuses    int64 // pipeline attachments that found the state already built
+	Evictions int64 // states dropped when their last pipeline released
+	Advances  int64 // base-delta batches applied by the single writer
+}
+
+// ShareGroup is the registry of operator states shared across the prepared
+// pipelines of one server. The zero value is not usable; use NewShareGroup.
+type ShareGroup struct {
+	mu     sync.RWMutex
+	shared func(name string) bool // which (lowercase) relation names are shared
+	sides  map[string]*sharedSide
+	stats  ShareStats
+}
+
+// NewShareGroup creates a registry. shared reports whether a relation name
+// (lowercase) is part of the shared base database — only subtrees reading
+// exclusively shared relations are eligible for state sharing.
+func NewShareGroup(shared func(name string) bool) *ShareGroup {
+	return &ShareGroup{shared: shared, sides: make(map[string]*sharedSide)}
+}
+
+// IsShared reports whether the relation name belongs to the shared base.
+func (g *ShareGroup) IsShared(name string) bool {
+	return g != nil && g.shared != nil && g.shared(strings.ToLower(name))
+}
+
+// Stats returns a copy of the registry counters.
+func (g *ShareGroup) Stats() ShareStats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.stats
+}
+
+// Sides reports the number of distinct shared states currently registered.
+func (g *ShareGroup) Sides() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.sides)
+}
+
+// SharedRows reports the total rows currently held across shared states —
+// the data-sized memory the sessions are amortizing.
+func (g *ShareGroup) SharedRows() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var n int64
+	for _, sd := range g.sides {
+		n += int64(len(sd.ordered))
+	}
+	return n
+}
+
+// ApproxBytes estimates the memory held by shared states (row references,
+// bucket tables, and key copies), for the shared-vs-private accounting the
+// fan-out benchmark reports.
+func (g *ShareGroup) ApproxBytes() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var b int64
+	for _, sd := range g.sides {
+		// ordered list + state row pointers ≈ two slots per row, plus bucket
+		// and key overhead for keyed states.
+		b += int64(len(sd.ordered)) * 48
+		if sd.state != nil && sd.state.keyed {
+			b += int64(len(sd.state.keys)) * 64
+		}
+	}
+	return b
+}
+
+// sharedSide is one shared join build side: the indexed state, the canonical
+// subtree that feeds it (donated by the pipeline that built it), and the
+// key evaluators of the owning join. All fields are guarded by the group
+// lock; state is replaced wholesale on rebuild, so readers must fetch it
+// through the side on every use.
+type sharedSide struct {
+	fp    string
+	reads []string // lowercase relation names the subtree scans
+	refs  int
+	built bool
+
+	sub     dnode           // canonical subtree; only the writer drives it after build
+	keys    []expr.Compiled // owning join's key evaluators for this side
+	kraw    []expr.Expr
+	keyed   bool
+	state   *joinSideState
+	ordered []relation.Tuple // subtree output in maintenance order (for late probes)
+
+	// cur is the subtree's output delta for the in-flight Advance batch;
+	// session pipelines consume it through currentDelta instead of deriving
+	// (and wrongly re-applying) it themselves.
+	cur    relation.Delta
+	curSet bool
+}
+
+// currentDelta returns the subtree output delta of the in-flight base-data
+// batch (zero outside an Advance window). Callers hold the group read lock.
+func (sd *sharedSide) currentDelta() relation.Delta {
+	if !sd.curSet {
+		return relation.Delta{}
+	}
+	return sd.cur
+}
+
+// lookup returns the side registered under fp, creating an empty entry on
+// first use. Caller holds the group write lock.
+func (g *ShareGroup) lookup(fp string, reads []string) *sharedSide {
+	sd, ok := g.sides[fp]
+	if !ok {
+		sd = &sharedSide{fp: fp, reads: reads}
+		g.sides[fp] = sd
+	}
+	return sd
+}
+
+// release drops one pipeline's reference. Unreferenced states are not
+// evicted here — plan invalidation (view redefinition) releases and
+// immediately re-acquires, and dropping the data-sized state across that
+// window would rebuild it for nothing. Sweep reclaims them.
+func (g *ShareGroup) release(sd *sharedSide) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sd.refs--
+}
+
+// Sweep evicts states no pipeline references (sessions detached, plans
+// redefined away), returning how many were dropped. The server calls it on
+// session detach/eviction.
+func (g *ShareGroup) Sweep() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for fp, sd := range g.sides {
+		if sd.refs <= 0 {
+			delete(g.sides, fp)
+			g.stats.Evictions++
+			n++
+		}
+	}
+	return n
+}
+
+// buildState indexes rows by the side's join keys (rows with NULL keys never
+// match and are kept out, exactly as the private path does).
+func buildState(rows []relation.Tuple, keys []expr.Compiled, kraw []expr.Expr, keyed bool) (*joinSideState, error) {
+	st := newJoinSideState(keyed, len(rows))
+	env := &expr.Env{}
+	key := make(relation.Tuple, len(keys))
+	for _, row := range rows {
+		if keyed {
+			env.Row = row
+			null, err := evalKeys(keys, kraw, key, env)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue
+			}
+		}
+		st.add(key, row)
+	}
+	return st, nil
+}
+
+// build evaluates the canonical subtree and publishes the indexed state.
+// Caller holds the group write lock.
+func (sd *sharedSide) build(ex *Executor) error {
+	sd.sub.reset()
+	rows, err := sd.sub.init(ex)
+	if err != nil {
+		return err
+	}
+	st, err := buildState(rows, sd.keys, sd.kraw, sd.keyed)
+	if err != nil {
+		return err
+	}
+	sd.state = st
+	sd.ordered = append([]relation.Tuple(nil), rows...)
+	sd.built = true
+	return nil
+}
+
+// advance applies one base-delta batch to the shared state and caches the
+// subtree's output delta for the sessions to consume. Caller holds the
+// group write lock.
+func (sd *sharedSide) advance(ex *Executor, in map[string]relation.Delta) error {
+	din, err := sd.sub.delta(ex, in)
+	if err != nil {
+		return err
+	}
+	env := &expr.Env{}
+	key := make(relation.Tuple, len(sd.keys))
+	for _, row := range din.Ins {
+		if sd.keyed {
+			env.Row = row
+			null, err := evalKeys(sd.keys, sd.kraw, key, env)
+			if err != nil {
+				return err
+			}
+			if null {
+				sd.ordered = append(sd.ordered, row)
+				continue
+			}
+		}
+		sd.state.add(key, row)
+		sd.ordered = append(sd.ordered, row)
+	}
+	for _, row := range din.Del {
+		if sd.keyed {
+			env.Row = row
+			null, err := evalKeys(sd.keys, sd.kraw, key, env)
+			if err != nil {
+				return err
+			}
+			if null {
+				continue // NULL keys were never in the state; ordered handles it
+			}
+		}
+		if err := sd.state.remove(key, row); err != nil {
+			return err
+		}
+	}
+	sd.orderedRemoveAll(din.Del)
+	sd.cur, sd.curSet = din, true
+	return nil
+}
+
+// orderedRemoveAll drops one occurrence per deleted row from the ordered
+// list in a single order-preserving pass — O(n + d) per batch, not O(n·d).
+func (sd *sharedSide) orderedRemoveAll(del []relation.Tuple) {
+	if len(del) == 0 {
+		return
+	}
+	drop := make(map[string]int, len(del))
+	for _, row := range del {
+		drop[row.Key()]++
+	}
+	kept := sd.ordered[:0]
+	for _, row := range sd.ordered {
+		if k := row.Key(); drop[k] > 0 {
+			drop[k]--
+			continue
+		}
+		kept = append(kept, row)
+	}
+	sd.ordered = kept
+}
+
+// Advance applies one sealed base-data batch to every shared state, exactly
+// once, before the server fans the same batch out to the sessions. in maps
+// lowercase relation names to their deltas; unknown names whose change
+// could not be expressed as a delta (the corresponding shared state is
+// rebuilt from scratch). ex must resolve names against the shared base
+// catalog. Call EndAdvance after every session has refreshed.
+func (g *ShareGroup) Advance(ex *Executor, in map[string]relation.Delta, unknown map[string]bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stats.Advances++
+	for _, sd := range g.sides {
+		if !sd.built {
+			continue
+		}
+		if readsAny(sd.reads, unknown) {
+			if err := sd.build(ex); err != nil {
+				return fmt.Errorf("shared state %s: rebuild: %w", sd.fp, err)
+			}
+			g.stats.Rebuilds++
+			// No cur delta: sessions reading this side fall back to full
+			// recomputation (the server hands them a nil delta for the
+			// unknown relation, which forces it).
+			sd.cur, sd.curSet = relation.Delta{}, false
+			continue
+		}
+		if err := sd.advance(ex, in); err != nil {
+			// The delta could not be applied (inconsistent bookkeeping);
+			// rebuild so sessions keep probing a correct state.
+			if rerr := sd.build(ex); rerr != nil {
+				return fmt.Errorf("shared state %s: %v; rebuild: %w", sd.fp, err, rerr)
+			}
+			g.stats.Rebuilds++
+			sd.cur, sd.curSet = relation.Delta{}, false
+		}
+	}
+	return nil
+}
+
+// EndAdvance clears the cached per-side deltas of the finished batch.
+func (g *ShareGroup) EndAdvance() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, sd := range g.sides {
+		sd.cur, sd.curSet = relation.Delta{}, false
+	}
+}
+
+func readsAny(reads []string, set map[string]bool) bool {
+	for _, r := range reads {
+		if set[r] {
+			return true
+		}
+	}
+	return false
+}
+
+// --- subtree fingerprinting ---
+
+// bnodeInfo returns a canonical description of a bound subtree and the set
+// of relation names it reads (lowercase, sorted). Two pipelines whose sides
+// fingerprint identically compute identical states from the shared catalog,
+// so the description doubles as the sharing key. ok is false for shapes
+// whose evaluation depends on per-execution resolution (those never appear
+// inside delta pipelines, but the walk is defensive).
+func bnodeInfo(b bnode) (fp string, reads []string, ok bool) {
+	set := map[string]bool{}
+	fp, ok = fpWalk(b, set)
+	if !ok {
+		return "", nil, false
+	}
+	for r := range set {
+		reads = append(reads, r)
+	}
+	sort.Strings(reads)
+	return fp, reads, true
+}
+
+func fpWalk(b bnode, reads map[string]bool) (string, bool) {
+	switch t := b.(type) {
+	case *bScan:
+		if t.s.Name == "" {
+			return "const", true
+		}
+		reads[strings.ToLower(t.s.Name)] = true
+		return "scan(" + strings.ToLower(t.s.Name) + t.s.Version.String() + " as " + t.s.Alias + ")", true
+	case *bFilter:
+		if t.pred.raw != nil && t.pred.fn == nil {
+			return "", false
+		}
+		child, ok := fpWalk(t.child, reads)
+		if !ok {
+			return "", false
+		}
+		return "filter[" + t.pred.String() + "](" + child + ")", true
+	case *bProject:
+		if t.static == nil && len(t.items) > 0 {
+			return "", false
+		}
+		child, ok := fpWalk(t.child, reads)
+		if !ok {
+			return "", false
+		}
+		var items []string
+		for i := range t.items {
+			items = append(items, t.items[i].String())
+		}
+		return "project[" + strings.Join(items, ",") + "](" + child + ")", true
+	case *bJoin:
+		if t.residual.raw != nil && t.residual.fn == nil {
+			return "", false
+		}
+		l, ok := fpWalk(t.l, reads)
+		if !ok {
+			return "", false
+		}
+		r, ok := fpWalk(t.r, reads)
+		if !ok {
+			return "", false
+		}
+		return "join[" + exprList(t.lkRaw) + "=" + exprList(t.rkRaw) + ";" + t.residual.String() + "](" + l + ")(" + r + ")", true
+	case *bAggregate:
+		if t.static == nil {
+			return "", false
+		}
+		child, ok := fpWalk(t.child, reads)
+		if !ok {
+			return "", false
+		}
+		p := t.static
+		hav := "<nil>"
+		if t.a.Having != nil {
+			hav = t.a.Having.String()
+		}
+		return "agg[" + strings.Join(p.groupStr, ",") + ";" + strings.Join(p.itemStr, ",") + ";" + hav + "](" + child + ")", true
+	case *bDistinct:
+		child, ok := fpWalk(t.child, reads)
+		if !ok {
+			return "", false
+		}
+		return "distinct(" + child + ")", true
+	case *bSort:
+		if t.static == nil {
+			return "", false
+		}
+		child, ok := fpWalk(t.child, reads)
+		if !ok {
+			return "", false
+		}
+		var keys []string
+		for i, k := range t.keys {
+			dir := "asc"
+			if t.s.Keys[i].Desc {
+				dir = "desc"
+			}
+			keys = append(keys, k.String()+" "+dir)
+		}
+		return "sort[" + strings.Join(keys, ",") + "](" + child + ")", true
+	case *bLimit:
+		child, ok := fpWalk(t.child, reads)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("limit[%d](%s)", t.n, child), true
+	case *bSetOp:
+		l, ok := fpWalk(t.l, reads)
+		if !ok {
+			return "", false
+		}
+		r, ok := fpWalk(t.r, reads)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("setop[%d,%t](%s)(%s)", t.kind, t.all, l, r), true
+	default:
+		return "", false
+	}
+}
+
+func exprList(es []expr.Expr) string {
+	var out []string
+	for _, e := range es {
+		out = append(out, e.String())
+	}
+	return strings.Join(out, ",")
+}

@@ -394,5 +394,8 @@ func All() ([]Result, error) {
 	if err := add(VersioningExperiment([]int{2000}, 20, 7)); err != nil {
 		return nil, err
 	}
+	if err := add(ServeFanout(2000, 4, 6, 7)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -189,3 +189,31 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatalf("output:\n%s", r.Output)
 	}
 }
+
+// TestServeFanoutExperiment smoke-runs the multi-client serving workload
+// and checks its acceptance-shaped stats: shared state built once, reused
+// by every session, per-session steady cost near the single-tenant path.
+func TestServeFanoutExperiment(t *testing.T) {
+	r, err := ServeFanout(3000, 3, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats["shared_builds"] != r.Stats["shared_sides"] {
+		t.Fatalf("shared states built %d times for %d sides", r.Stats["shared_builds"], r.Stats["shared_sides"])
+	}
+	if r.Stats["shared_reuses"] == 0 {
+		t.Fatal("no shared-state reuses recorded")
+	}
+	if r.Stats["per_session_us_per_event"] <= 0 || r.Stats["single_us_per_event"] <= 0 {
+		t.Fatalf("missing timing stats: %+v", r.Stats)
+	}
+	// Small sizes are noisy; 4x is a loose ceiling that still catches the
+	// sharing machinery falling off the delta path entirely.
+	if ratio := r.Stats["per_session_vs_single_x100"]; ratio > 400 {
+		t.Fatalf("per-session steady cost %d%% of single-tenant; sharing is not paying", ratio)
+	}
+	if r.Stats["amortized_bytes"] >= r.Stats["dedicated_engines_bytes"] {
+		t.Fatalf("no memory amortization: amortized %d >= dedicated %d",
+			r.Stats["amortized_bytes"], r.Stats["dedicated_engines_bytes"])
+	}
+}

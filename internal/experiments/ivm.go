@@ -96,10 +96,10 @@ P = render(SELECT x, y, width, height, fill FROM BARS, 'rect');
 	return b.String()
 }
 
-// LoadIVMSales bulk-loads n synthetic order lines into the engine's Sales
-// table through the host API (InsertRows), bypassing the DeVIL parser so
-// million-row benchmarks spend their time in the engine, not the lexer.
-func LoadIVMSales(e *core.Engine, n int, seed int64) error {
+// IVMSalesTuples synthesizes n order lines as engine tuples (the Sales
+// schema of the crossfilter prelude). Shared by the single-tenant loaders
+// and the session server's ingestion path.
+func IVMSalesTuples(n int, seed int64) []relation.Tuple {
 	rows := workload.Sales(n, seed)
 	tuples := make([]relation.Tuple, len(rows))
 	for i, r := range rows {
@@ -113,7 +113,14 @@ func LoadIVMSales(e *core.Engine, n int, seed int64) error {
 			relation.Int(int64(math.Round(r.Revenue))),
 		}
 	}
-	return e.InsertRows("Sales", tuples)
+	return tuples
+}
+
+// LoadIVMSales bulk-loads n synthetic order lines into the engine's Sales
+// table through the host API (InsertRows), bypassing the DeVIL parser so
+// million-row benchmarks spend their time in the engine, not the lexer.
+func LoadIVMSales(e *core.Engine, n int, seed int64) error {
+	return e.InsertRows("Sales", IVMSalesTuples(n, seed))
 }
 
 // NewIVMEngine loads the join-based crossfilter over n rows.

@@ -1,0 +1,106 @@
+// Package protocol defines the line-JSON wire format of the session server
+// (cmd/dvms-serve): one JSON request per line in, one JSON response per
+// line out. It lives apart from the server so clients, the binary, and the
+// tests share one set of wire types.
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/server"
+)
+
+// Request is one client line.
+type Request struct {
+	// Op selects the action: ping, event, relation, query, undo, stats.
+	Op string `json:"op"`
+
+	// event fields: Type is an event type (MOUSE_DOWN, MOUSE_MOVE,
+	// MOUSE_UP, HOVER, KEY_PRESS), T the timestamp, X/Y the position, Key
+	// the pressed key for KEY_PRESS.
+	Type string `json:"type,omitempty"`
+	T    int64  `json:"t,omitempty"`
+	X    int64  `json:"x,omitempty"`
+	Y    int64  `json:"y,omitempty"`
+	Key  string `json:"key,omitempty"`
+
+	// relation field.
+	Name string `json:"name,omitempty"`
+	// query field.
+	Q string `json:"q,omitempty"`
+}
+
+// Response is one server line. OK=false carries Error; the other fields
+// depend on the request op.
+type Response struct {
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Session int    `json:"session,omitempty"`
+
+	// event echo: how the event advanced the interaction transaction.
+	Interaction string `json:"interaction,omitempty"`
+	Began       bool   `json:"began,omitempty"`
+	Committed   bool   `json:"committed,omitempty"`
+	Aborted     bool   `json:"aborted,omitempty"`
+	RowsEmitted int    `json:"rowsEmitted,omitempty"`
+	Version     int    `json:"version,omitempty"`
+
+	// relation/query payload.
+	Columns []string `json:"columns,omitempty"`
+	Rows    [][]any  `json:"rows,omitempty"`
+
+	// stats payload.
+	Stats  *core.Stats   `json:"stats,omitempty"`
+	Server *server.Stats `json:"server,omitempty"`
+}
+
+// ParseRequest decodes one request line.
+func ParseRequest(line []byte) (Request, error) {
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return req, fmt.Errorf("bad request: %v", err)
+	}
+	if req.Op == "" {
+		return req, fmt.Errorf("bad request: missing op")
+	}
+	return req, nil
+}
+
+// WriteResponse encodes one response line (newline-terminated).
+func WriteResponse(w io.Writer, resp Response) error {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// EncodeRow converts a tuple to JSON-encodable values (nil, bool, int64,
+// float64, string).
+func EncodeRow(row relation.Tuple) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		switch v.Kind() {
+		case relation.KindNull:
+			out[i] = nil
+		case relation.KindBool:
+			b, _ := v.AsBool()
+			out[i] = b
+		case relation.KindInt:
+			n, _ := v.AsInt()
+			out[i] = n
+		case relation.KindFloat:
+			f, _ := v.AsFloat()
+			out[i] = f
+		default:
+			out[i] = v.AsString()
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package server_test
+
+// BenchmarkServeFanout: per-drag cost of one session among k attached to a
+// shared base, vs a dedicated single-tenant engine ("s1-dedicated"). Each
+// op is one full drag (open + 6 one-month extensions + release) on the next
+// session in rotation, with every other session attached and hot — the
+// steady-state serving workload. The interesting comparison is s10 vs
+// s1-dedicated: marginal session cost vs a full engine.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+func BenchmarkServeFanout(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("n%d/s1-dedicated", n), func(b *testing.B) {
+			eng, err := experiments.NewIVMEngine(n, 7, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			drag := experiments.IVMBrushStream(6)
+			if _, err := eng.FeedStream(drag); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.FeedStream(drag); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, k := range []int{1, 10} {
+			b.Run(fmt.Sprintf("n%d/s%d", n, k), func(b *testing.B) {
+				srv, err := experiments.NewServeServer(n, 7, server.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				drag := experiments.IVMBrushStream(6)
+				sessions := make([]*server.Session, k)
+				for i := range sessions {
+					if sessions[i], err = srv.Attach(); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := sessions[i].FeedStream(drag); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sessions[i%k].FeedStream(drag); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package server_test
+
+// Session isolation parity wall. Each server session must behave exactly
+// like a dedicated single-tenant engine replaying the same event stream:
+// sharing build-side state, chaining catalogs, and fanning out writer
+// deltas are pure optimizations. The suite drives N sessions through
+// randomized, randomly interleaved streams and compares every private
+// relation and the pixels of every session against its oracle.
+//
+// Two randomized scenarios keep the oracle comparison well-defined:
+//
+//   - "undo": brushes, strays (aborts), and undo — no writer. Session and
+//     oracle histories stay aligned, so undo targets the same state.
+//   - "writer": brushes and strays with concurrent base-data ingestion.
+//     Single-tenant abort rolls back the *whole* database, so the oracle
+//     commits after each ingested batch (the host idiom for durable bulk
+//     loads); the server's sessions never roll shared data back, and
+//     resync restored views against the live base instead. Undo is
+//     excluded (the oracle's extra commits shift its undo targets).
+//
+// The semantic difference itself — undo/abort after a shared write must
+// resync, not resurrect old shared data — is pinned by
+// TestUndoAfterBaseWriteSeesLiveSharedData.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+// ivmViews are the per-session relations the parity checks compare (C is
+// the compound event table; the rest the selection-dependent chart chain).
+var ivmViews = []string{"C", "selected_months", "FILT_region", "FILT_segment",
+	"FILT_month", "FILT_weekday", "RANKED_sel", "BARS"}
+
+// randomEvent synthesizes one input event. Most are drag fragments over the
+// month axis (x in the axis range), some are strays (filtered or aborting),
+// so recognizer state machines visit begin/extend/commit/abort.
+func randomEvent(rng *rand.Rand, t int64) events.Event {
+	x := int64(20 + rng.Intn(280))
+	y := int64(20 + rng.Intn(100))
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		return events.Mouse(events.MouseDown, t, x, y)
+	case 3, 4, 5, 6:
+		return events.Mouse(events.MouseMove, t, x, y)
+	case 7, 8:
+		return events.Mouse(events.MouseUp, t, x, y)
+	default:
+		return events.Mouse(events.Hover, t, x, y)
+	}
+}
+
+func assertSessionMatchesOracle(t *testing.T, step string, sess *server.Session, oracle *core.Engine) {
+	t.Helper()
+	for _, name := range ivmViews {
+		got, err := sess.Relation(name)
+		if err != nil {
+			t.Fatalf("%s: session %s: %v", step, name, err)
+		}
+		want, err := oracle.Relation(name)
+		if err != nil {
+			t.Fatalf("%s: oracle %s: %v", step, name, err)
+		}
+		assertSameRelation(t, step+" "+name, got, want)
+	}
+	si, oi := sess.Image(), oracle.Image()
+	for p := range oi.Pix {
+		if si.Pix[p] != oi.Pix[p] {
+			t.Fatalf("%s: pixel %d,%d diverges: session %+v, oracle %+v",
+				step, p%oi.W, p/oi.W, si.Pix[p], oi.Pix[p])
+		}
+	}
+}
+
+// parityHarness couples K server sessions with K dedicated oracles.
+type parityHarness struct {
+	srv      *server.Server
+	sessions []*server.Session
+	oracles  []*core.Engine
+	commits  []int // interaction commits per session
+	clock    []int64
+}
+
+func newParityHarness(t *testing.T, nSessions, baseRows int, seed int64) *parityHarness {
+	t.Helper()
+	h := &parityHarness{srv: newIVMServer(t, baseRows, seed, server.Config{})}
+	for i := 0; i < nSessions; i++ {
+		sess, err := h.srv.Attach()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.sessions = append(h.sessions, sess)
+		h.oracles = append(h.oracles, newIVMOracle(t, baseRows, seed))
+	}
+	h.commits = make([]int, nSessions)
+	h.clock = make([]int64, nSessions)
+	return h
+}
+
+func (h *parityHarness) feedBoth(t *testing.T, step, i int, ev events.Event) {
+	t.Helper()
+	te, err := h.sessions[i].Feed(ev)
+	if err != nil {
+		t.Fatalf("step %d: session %d feed: %v", step, i, err)
+	}
+	if _, err := h.oracles[i].FeedEvent(ev); err != nil {
+		t.Fatalf("step %d: oracle %d feed: %v", step, i, err)
+	}
+	if te.Committed {
+		h.commits[i]++
+	}
+}
+
+func (h *parityHarness) checkAll(t *testing.T, step string) {
+	t.Helper()
+	for i := range h.sessions {
+		assertSessionMatchesOracle(t, fmt.Sprintf("%s session %d", step, i), h.sessions[i], h.oracles[i])
+	}
+}
+
+// TestSessionIsolationParityUndo interleaves brushes, strays, and undo
+// across sessions (no base writes), checking full parity every burst.
+func TestSessionIsolationParityUndo(t *testing.T) {
+	const (
+		nSessions = 3
+		baseRows  = 800
+		steps     = 220
+	)
+	for _, seed := range []int64{1, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			h := newParityHarness(t, nSessions, baseRows, seed)
+			for step := 0; step < steps; step++ {
+				i := rng.Intn(nSessions)
+				// Undo only when both histories hold an interaction commit
+				// to rewind (the oracle's extra program-load versions would
+				// otherwise let it undo earlier than the session can).
+				if rng.Intn(100) < 6 && h.commits[i] >= 1 && !h.oracles[i].InTxn() {
+					if err := h.sessions[i].Undo(); err != nil {
+						t.Fatalf("step %d: session %d undo: %v", step, i, err)
+					}
+					if err := h.oracles[i].Undo(); err != nil {
+						t.Fatalf("step %d: oracle %d undo: %v", step, i, err)
+					}
+				} else {
+					h.clock[i]++
+					h.feedBoth(t, step, i, randomEvent(rng, h.clock[i]))
+				}
+				if step%20 == 19 {
+					h.checkAll(t, fmt.Sprintf("step %d", step))
+				}
+			}
+			h.checkAll(t, "final")
+		})
+	}
+}
+
+// TestSessionIsolationParityWriter interleaves brushes and strays with
+// single-writer ingestion; every batch fans out to all sessions and is
+// committed by the oracles (see the file comment for why).
+func TestSessionIsolationParityWriter(t *testing.T) {
+	const (
+		nSessions = 3
+		baseRows  = 800
+		steps     = 220
+	)
+	for _, seed := range []int64{7, 99} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			h := newParityHarness(t, nSessions, baseRows, seed)
+			for step := 0; step < steps; step++ {
+				i := rng.Intn(nSessions)
+				anyTxn := false
+				for _, o := range h.oracles {
+					anyTxn = anyTxn || o.InTxn()
+				}
+				if rng.Intn(100) < 5 && !anyTxn {
+					rows := experiments.IVMSalesTuples(10+rng.Intn(30), seed+int64(step))
+					if err := h.srv.InsertRows("Sales", rows); err != nil {
+						t.Fatalf("step %d: writer: %v", step, err)
+					}
+					for _, o := range h.oracles {
+						if err := o.InsertRows("Sales", rows); err != nil {
+							t.Fatal(err)
+						}
+						o.Commit()
+					}
+				} else {
+					h.clock[i]++
+					h.feedBoth(t, step, i, randomEvent(rng, h.clock[i]))
+				}
+				if step%20 == 19 {
+					h.checkAll(t, fmt.Sprintf("step %d", step))
+				}
+			}
+			h.checkAll(t, "final")
+		})
+	}
+}
+
+// TestUndoAfterBaseWriteSeesLiveSharedData pins the server's restore
+// semantics: session undo rewinds only private state; views recompute
+// against the live shared base rather than resurrecting charts built from
+// pre-write data.
+func TestUndoAfterBaseWriteSeesLiveSharedData(t *testing.T) {
+	const n, seed = 600, 13
+	srv := newIVMServer(t, n, seed, server.Config{})
+	sess, err := srv.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two committed interactions, then a base write, then undo: the session
+	// should land on the first interaction's selection over the NEW data.
+	if _, err := sess.FeedStream(experiments.IVMBrushStream(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.FeedStream(experiments.IVMBrushStream(5)); err != nil {
+		t.Fatal(err)
+	}
+	extra := experiments.IVMSalesTuples(200, seed+1)
+	if err := srv.InsertRows("Sales", extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	// Expectation: an engine with all the data replaying only the first
+	// brush (the selection state undo restored).
+	want := newIVMOracle(t, 0, seed)
+	if err := want.InsertRows("Sales", experiments.IVMSalesTuples(n, seed)); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.InsertRows("Sales", extra); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := want.FeedStream(experiments.IVMBrushStream(2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"selected_months", "FILT_region", "FILT_month", "RANKED_sel"} {
+		got, err := sess.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRel, err := want.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRelation(t, "post-undo "+name, got, wantRel)
+	}
+}
+
+// TestConcurrentSessionsRace drives every session from its own goroutine —
+// brushing, reading relations, and snapshotting stats — while the writer
+// ingests base rows and a janitor polls server stats. Run under -race this
+// is the shared-state synchronization gate; afterwards each session must
+// still match an oracle that saw the final data (views are functions of
+// current state, so interleaving with the writer cannot change the end
+// result).
+func TestConcurrentSessionsRace(t *testing.T) {
+	const (
+		nSessions = 6
+		baseRows  = 500
+		perStream = 120
+	)
+	srv := newIVMServer(t, baseRows, 5, server.Config{})
+	var sessions []*server.Session
+	var streams []events.Stream
+	for i := 0; i < nSessions; i++ {
+		sess, err := srv.Attach()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, sess)
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		var stream events.Stream
+		for k := 0; k < perStream; k++ {
+			stream = append(stream, randomEvent(rng, int64(k)))
+		}
+		streams = append(streams, stream)
+	}
+	const writerBatches = 3
+	var wg sync.WaitGroup
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k, ev := range streams[i] {
+				if _, err := sessions[i].Feed(ev); err != nil {
+					t.Errorf("session %d event %d: %v", i, k, err)
+					return
+				}
+				if k%10 == 0 {
+					if _, err := sessions[i].Relation("FILT_region"); err != nil {
+						t.Errorf("session %d read: %v", i, err)
+						return
+					}
+					if _, err := sessions[i].Stats(); err != nil {
+						t.Errorf("session %d stats: %v", i, err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < writerBatches; b++ {
+			if err := srv.InsertRows("Sales", experiments.IVMSalesTuples(25, int64(9000+b))); err != nil {
+				t.Errorf("writer batch %d: %v", b, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 50; k++ {
+			_ = srv.Stats()
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Post-hoc determinism: an oracle with the final base data replaying a
+	// session's full stream must land on exactly that session's state.
+	// (Aborted interactions in the oracle roll back to a state that already
+	// contains all rows, matching the session's resync-on-abort.)
+	for i := range sessions {
+		oracle := newIVMOracle(t, baseRows, 5)
+		for b := 0; b < writerBatches; b++ {
+			if err := oracle.InsertRows("Sales", experiments.IVMSalesTuples(25, int64(9000+b))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		oracle.Commit()
+		if _, err := oracle.FeedStream(streams[i]); err != nil {
+			t.Fatal(err)
+		}
+		assertSessionMatchesOracle(t, fmt.Sprintf("concurrent session %d", i), sessions[i], oracle)
+	}
+}

@@ -1,0 +1,434 @@
+package server_test
+
+// Server behavior tests: program splitting, shared-state instantiation
+// counts, single-writer fan-out, lifecycle (detach/eviction), and the
+// session read paths. The randomized isolation parity wall lives in
+// isolation_test.go.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/experiments"
+	"repro/internal/relation"
+	"repro/internal/server"
+)
+
+// newIVMServer builds a server over the join-based crossfilter with n sales
+// rows loaded through the single-writer path.
+func newIVMServer(t *testing.T, n int, seed int64, cfg server.Config) *server.Server {
+	t.Helper()
+	srv, err := server.New(cfg, experiments.BuildIVMCrossfilterProgram())
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := srv.InsertRows("Sales", experiments.IVMSalesTuples(n, seed)); err != nil {
+		t.Fatalf("load sales: %v", err)
+	}
+	return srv
+}
+
+// newIVMOracle builds the equivalent single-tenant engine.
+func newIVMOracle(t *testing.T, n int, seed int64) *core.Engine {
+	t.Helper()
+	e, err := experiments.NewIVMEngine(n, seed, core.Config{})
+	if err != nil {
+		t.Fatalf("oracle engine: %v", err)
+	}
+	return e
+}
+
+func sortedRows(t *testing.T, rel *relation.Relation) []string {
+	t.Helper()
+	out := make([]string, len(rel.Rows))
+	for i, r := range rel.Rows {
+		out[i] = r.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSameRelation(t *testing.T, label string, got, want *relation.Relation) {
+	t.Helper()
+	g, w := sortedRows(t, got), sortedRows(t, want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d rows, oracle has %d\n got: %v\nwant: %v", label, len(g), len(w), g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: row %d differs\n got %s\nwant %s", label, i, g[i], w[i])
+		}
+	}
+}
+
+// TestSplitClassification pins the shared/private partition of the
+// crossfilter program: base data and selection-independent charts are
+// shared, everything the brush touches is private.
+func TestSplitClassification(t *testing.T) {
+	split, err := core.SplitProgram(experiments.BuildIVMCrossfilterProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sales", "monthaxis", "totals_region", "ranked_all"} {
+		if !split.SharedNames[name] {
+			t.Errorf("%s should be shared", name)
+		}
+	}
+	for _, name := range []string{"c", "selected_months", "filt_region", "ranked_sel", "bars", "p"} {
+		if !split.PrivateNames[name] {
+			t.Errorf("%s should be private", name)
+		}
+	}
+}
+
+// TestSplitRejectsPrivateWrites pins the error for shared writes reading
+// per-session state.
+func TestSplitRejectsPrivateWrites(t *testing.T) {
+	_, err := core.SplitProgram(`
+CREATE TABLE T (x int);
+C = EVENT MOUSE_DOWN AS D RETURN (D.x);
+INSERT INTO T SELECT x FROM C;
+`)
+	if err == nil || !strings.Contains(err.Error(), "reads private state") {
+		t.Fatalf("want private-read error, got %v", err)
+	}
+}
+
+// TestSharedStateInstantiatedOnce is the acceptance-criterion counter
+// check: the data-sized Sales build side is built once and reused by every
+// later session and every view that joins through the same subtree.
+func TestSharedStateInstantiatedOnce(t *testing.T) {
+	const sessions = 4
+	srv := newIVMServer(t, 2000, 7, server.Config{})
+	var all []*server.Session
+	for i := 0; i < sessions; i++ {
+		sess, err := srv.Attach()
+		if err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		all = append(all, sess)
+		// Prime this session's pipelines with one full brush.
+		if _, err := sess.FeedStream(experiments.IVMBrushStream(2)); err != nil {
+			t.Fatalf("brush %d: %v", i, err)
+		}
+	}
+	st := srv.Stats()
+	if st.SharedSides == 0 {
+		t.Fatalf("no shared sides registered; stats %+v", st)
+	}
+	if int(st.Share.Builds) != st.SharedSides {
+		t.Errorf("shared states built %d times for %d distinct sides; want exactly once each",
+			st.Share.Builds, st.SharedSides)
+	}
+	// The 4 FILT_* views of every session all join Sales through the same
+	// subtree and key: one build, everything else (including re-preparations
+	// during program load) reuses it.
+	if wantReuses := int64(sessions*len(experiments.IVMDims) - st.SharedSides); st.Share.Reuses < wantReuses {
+		t.Errorf("reuses = %d, want >= %d (sessions=%d, joining views=%d, sides=%d)",
+			st.Share.Reuses, wantReuses, sessions, len(experiments.IVMDims), st.SharedSides)
+	}
+	if st.SharedRows < 2000 {
+		t.Errorf("shared rows %d, want >= base size", st.SharedRows)
+	}
+	for _, sess := range all {
+		sess.Detach()
+	}
+	if got := srv.Stats(); got.SharedSides != 0 || got.Share.Evictions == 0 {
+		t.Errorf("after all detaches: sides=%d evictions=%d, want 0 and >0",
+			got.SharedSides, got.Share.Evictions)
+	}
+}
+
+// TestSessionBrushMatchesSingleTenant drives one session through a brush
+// and compares every chart (and the pixels) against a dedicated engine.
+func TestSessionBrushMatchesSingleTenant(t *testing.T) {
+	srv := newIVMServer(t, 1500, 11, server.Config{})
+	oracle := newIVMOracle(t, 1500, 11)
+	sess, err := srv.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := experiments.IVMBrushStream(5)
+	for i, ev := range stream {
+		if _, err := sess.Feed(ev); err != nil {
+			t.Fatalf("session feed %d: %v", i, err)
+		}
+		if _, err := oracle.FeedEvent(ev); err != nil {
+			t.Fatalf("oracle feed %d: %v", i, err)
+		}
+	}
+	for _, name := range []string{"selected_months", "FILT_region", "FILT_month", "RANKED_sel", "RANKED_all", "BARS"} {
+		got, err := sess.Relation(name)
+		if err != nil {
+			t.Fatalf("session %s: %v", name, err)
+		}
+		want, err := oracle.Relation(name)
+		if err != nil {
+			t.Fatalf("oracle %s: %v", name, err)
+		}
+		assertSameRelation(t, name, got, want)
+	}
+	si, oi := sess.Image(), oracle.Image()
+	for p := range oi.Pix {
+		if si.Pix[p] != oi.Pix[p] {
+			t.Fatalf("pixel %d,%d diverges: session %+v, oracle %+v", p%oi.W, p/oi.W, si.Pix[p], oi.Pix[p])
+		}
+	}
+	// The session must be running on the delta path, not falling back for
+	// the join views (selected_months legitimately falls back per event).
+	st, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ViewDeltaApplies == 0 {
+		t.Errorf("session never took the delta path: %+v", st)
+	}
+}
+
+// TestWriterFanOut inserts base rows while sessions are attached and
+// checks every session's charts track the new data, matching single-tenant
+// engines that saw the same interleaving.
+func TestWriterFanOut(t *testing.T) {
+	const n, seed = 1200, 3
+	srv := newIVMServer(t, n, seed, server.Config{})
+	oracle := newIVMOracle(t, n, seed)
+
+	s1, err := srv.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := srv.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s1 brushes months 1-3; s2 stays unbrushed; the oracle mirrors s1.
+	brush := experiments.IVMBrushStream(2)
+	if _, err := s1.FeedStream(brush); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.FeedStream(brush); err != nil {
+		t.Fatal(err)
+	}
+	// Single writer ingests new rows; the deltas fan out to both sessions.
+	extra := experiments.IVMSalesTuples(300, seed+100)
+	if err := srv.InsertRows("Sales", extra); err != nil {
+		t.Fatalf("writer insert: %v", err)
+	}
+	if err := oracle.InsertRows("Sales", extra); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"FILT_region", "FILT_month", "RANKED_sel", "RANKED_all", "BARS"} {
+		got, err := s1.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRelation(t, "s1 "+name, got, want)
+	}
+	// s2 (no brush: selection = all months) must see totals over n+300 rows.
+	freshOracle := newIVMOracle(t, 0, seed)
+	if err := freshOracle.InsertRows("Sales", experiments.IVMSalesTuples(n, seed)); err != nil {
+		t.Fatal(err)
+	}
+	if err := freshOracle.InsertRows("Sales", extra); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Relation("FILT_region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := freshOracle.Relation("FILT_region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRelation(t, "s2 FILT_region", got, want)
+}
+
+// nestedJoinProgram joins an all-shared two-table subtree (Sales ⋈
+// MonthAxis) against the private selection: the shared side of the outer
+// join *contains* another join. The registry must share the outermost
+// eligible subtree only — separate entries for the inner join would
+// advance in arbitrary order and drop writer batches.
+const nestedJoinProgram = `
+CREATE TABLE Sales (orderId int, region string, segment string, year int, month int, weekday int, revenue int);
+CREATE TABLE MonthAxis (month int, x int);
+INSERT INTO MonthAxis VALUES
+  (1, 40), (2, 60), (3, 80), (4, 100), (5, 120), (6, 140),
+  (7, 160), (8, 180), (9, 200), (10, 220), (11, 240), (12, 260);
+C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M*, MOUSE_UP AS U
+    RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+           (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+selected_months =
+  SELECT ma.month AS month FROM MonthAxis AS ma
+  WHERE (SELECT count(*) FROM C) = 0
+     OR (ma.x >= (SELECT min(x) FROM C) AND ma.x <= (SELECT max(x + dx) FROM C));
+NESTED = SELECT s.region AS grp, sum(s.revenue) AS total, count(*) AS n
+  FROM Sales AS s, MonthAxis AS ma, selected_months AS m
+  WHERE s.month = ma.month AND ma.month = m.month
+  GROUP BY s.region;
+`
+
+// TestNestedSharedSubtreeFanOut pins writer fan-out correctness when the
+// shared join side is itself a join: brush, ingest, and compare against a
+// dedicated engine after every phase.
+func TestNestedSharedSubtreeFanOut(t *testing.T) {
+	const n, seed = 900, 17
+	srv, err := server.New(server.Config{}, nestedJoinProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InsertRows("Sales", experiments.IVMSalesTuples(n, seed)); err != nil {
+		t.Fatal(err)
+	}
+	oracle := core.New(core.Config{})
+	if err := oracle.LoadProgram(nestedJoinProgram); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.InsertRows("Sales", experiments.IVMSalesTuples(n, seed)); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := srv.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := srv.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(step string) {
+		t.Helper()
+		got, err := s1.Relation("NESTED")
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		want, err := oracle.Relation("NESTED")
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		assertSameRelation(t, step+" NESTED", got, want)
+	}
+	check("initial")
+	brush := experiments.IVMBrushStream(3)
+	if _, err := s1.FeedStream(brush); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.FeedStream(brush); err != nil {
+		t.Fatal(err)
+	}
+	check("post-brush")
+	// Writer batches must reach both the shared outer state and every
+	// session, in every advance order the sides map iterates in.
+	for b := 0; b < 5; b++ {
+		rows := experiments.IVMSalesTuples(40, seed+int64(b+1))
+		if err := srv.InsertRows("Sales", rows); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		if err := oracle.InsertRows("Sales", rows); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("post-ingest %d", b))
+	}
+	// s2 (unbrushed: all months) tracks the full data too.
+	got, err := s2.Relation("NESTED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) == 0 {
+		t.Fatal("s2 NESTED empty after ingestion")
+	}
+	st := srv.Stats()
+	if st.Share.Builds != int64(st.SharedSides) {
+		t.Errorf("nested sharing built %d states for %d sides", st.Share.Builds, st.SharedSides)
+	}
+}
+
+// TestExecSharedFansOutAsUnknownChange covers the DDL/statement write path:
+// sessions see the change through full recomputation (no exact deltas).
+func TestExecSharedFansOutAsUnknownChange(t *testing.T) {
+	const n, seed = 400, 21
+	srv := newIVMServer(t, n, seed, server.Config{})
+	sess, err := srv.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.FeedStream(experiments.IVMBrushStream(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ExecShared("INSERT INTO Sales VALUES (9999999, 'north', 'consumer', 2024, 1, 1, 123456)"); err != nil {
+		t.Fatal(err)
+	}
+	oracle := newIVMOracle(t, n, seed)
+	if _, err := oracle.FeedStream(experiments.IVMBrushStream(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Exec("INSERT INTO Sales VALUES (9999999, 'north', 'consumer', 2024, 1, 1, 123456)"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"FILT_region", "RANKED_all", "BARS"} {
+		got, err := sess.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRelation(t, "exec-shared "+name, got, want)
+	}
+}
+
+// TestSessionSharedRelationsReadOnly pins the session-side write guard.
+func TestSessionSharedRelationsReadOnly(t *testing.T) {
+	srv := newIVMServer(t, 100, 7, server.Config{})
+	sess, err := srv.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Query("SELECT count(*) FROM Sales")
+	if err != nil {
+		t.Fatalf("session read of shared table: %v", err)
+	}
+	// A session engine must refuse to mutate shared relations.
+	if err := srv.Base().Exec("INSERT INTO Sales VALUES (1,'a','b',2020,1,1,10)"); err != nil {
+		t.Fatalf("base write should work: %v", err)
+	}
+}
+
+// TestDetachAndEviction covers lifecycle: detached sessions error, idle
+// sessions are evicted, capacity is enforced.
+func TestDetachAndEviction(t *testing.T) {
+	srv := newIVMServer(t, 100, 7, server.Config{MaxSessions: 2, IdleTimeout: time.Hour})
+	s1, err := srv.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Attach(); err == nil {
+		t.Fatal("attach beyond capacity with fresh sessions should fail")
+	}
+	s1.Detach()
+	s1.Detach() // idempotent
+	if _, err := s1.Feed(events.Mouse(events.MouseDown, 0, 10, 10)); err == nil {
+		t.Fatal("feed on detached session should fail")
+	}
+	if srv.Sessions() != 1 {
+		t.Fatalf("sessions = %d, want 1", srv.Sessions())
+	}
+	if n := srv.EvictIdle(0); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	st := srv.Stats()
+	if st.Detached != 1 || st.Evicted != 1 || st.Sessions != 0 {
+		t.Fatalf("lifecycle stats %+v", st)
+	}
+}
