@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race cover fuzz-smoke bench bench-exec bench-engine bench-ivm bench-version bench-topk bench-serve bench-smoke
+.PHONY: check build vet test test-race cover fuzz-smoke bench bench-exec bench-engine bench-ivm bench-version bench-topk bench-serve bench-wal bench-smoke
 
 check: build vet test
 
@@ -41,7 +41,7 @@ fuzz-smoke:
 
 # bench runs the executor microbenchmarks with allocation stats and writes
 # the experiment-series snapshot to BENCH_exec.json via cmd/dvms-bench.
-bench: bench-exec bench-engine bench-ivm bench-version bench-topk bench-serve
+bench: bench-exec bench-engine bench-ivm bench-version bench-topk bench-serve bench-wal
 
 bench-exec:
 	$(GO) test ./internal/exec -run '^$$' -bench . -benchmem | tee BENCH_exec_micro.txt
@@ -84,6 +84,15 @@ bench-serve:
 	$(GO) run ./cmd/dvms-bench -experiment serve -n 1000000 -sessions 10 -format json > BENCH_serve.json
 	@echo "wrote BENCH_serve_micro.txt and BENCH_serve.json"
 
+# bench-wal records the durability trajectory: per-event WAL append
+# overhead by fsync policy against the in-memory baseline, log sizes, and
+# crash-recovery time from the delta log — including the 100k-event
+# replay-dominated recovery measurement (BENCH_wal.json).
+bench-wal:
+	$(GO) test ./internal/wal -run '^$$' -bench 'BenchmarkAppend' -benchmem | tee BENCH_wal_micro.txt
+	$(GO) run ./cmd/dvms-bench -experiment wal -n 1000000 -format json > BENCH_wal.json
+	@echo "wrote BENCH_wal_micro.txt and BENCH_wal.json"
+
 # bench-smoke is the short-form CI benchmark: proves the benchmark harness
 # runs end to end without committing CI minutes to full sizes. The small-n
 # top-k and serve runs land in *_smoke.json (gitignored) so they never
@@ -92,6 +101,7 @@ bench-smoke:
 	$(GO) run ./cmd/dvms-bench -experiment ivm -n 2000 -format json > /dev/null
 	$(GO) run ./cmd/dvms-bench -experiment a1 -n 300 -format json > /dev/null
 	$(GO) run ./cmd/dvms-bench -experiment version -n 2000 -format json > /dev/null
+	$(GO) run ./cmd/dvms-bench -experiment wal -n 2000 -format json > /dev/null
 	$(GO) run ./cmd/dvms-bench -experiment topk -n 2000 -format json > BENCH_topk_smoke.json
 	$(GO) run ./cmd/dvms-bench -experiment serve -n 2000 -sessions 4 -format json > BENCH_serve_smoke.json
 	$(GO) test . -run '^$$' -bench 'BenchmarkIVMBrush/n10000$$/' -benchtime 1x > /dev/null

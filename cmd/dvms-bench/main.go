@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "one of: fig1 fig2 table1 deVIL4 fig5 fig5-trend fig6 fig7 stream a1 a2 e2e ivm version topk serve all")
+		experiment   = flag.String("experiment", "all", "one of: fig1 fig2 table1 deVIL4 fig5 fig5-trend fig6 fig7 stream a1 a2 e2e ivm version topk serve wal all")
 		n            = flag.Int("n", 2000, "workload size (rows/products/queries, experiment dependent)")
 		sessions     = flag.Int("sessions", 10, "concurrent sessions for the serve experiment")
 		participants = flag.Int("participants", 40, "simulated participants for fig5")
@@ -121,6 +121,16 @@ func run(experiment, format string, n, sessions, participants int, seed int64) (
 			sizes = []int{n / 10, n}
 		}
 		return print(experiments.TopKScaling(sizes, 6, 40, seed))
+	case "wal":
+		// -n sets the largest base size; smaller decades show how append
+		// overhead and recovery time scale with base data.
+		sizes := []int{n}
+		if n >= 1000000 {
+			sizes = []int{n / 100, n / 10, n}
+		} else if n >= 10000 {
+			sizes = []int{n / 10, n}
+		}
+		return print(experiments.WALExperiment(sizes, 40, seed))
 	case "all":
 		results, err := experiments.All()
 		if err != nil {

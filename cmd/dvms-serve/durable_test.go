@@ -1,0 +1,171 @@
+package main
+
+// Serve-tier robustness tests: the bounded-read error reply, session resume
+// over the wire, and the full acceptance path — SIGTERM graceful shutdown,
+// restart over the same data directory, client resumes by token.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestLineTooLongReply sends a request line exceeding the 4MB scanner budget
+// and expects an in-band error instead of a silent hangup.
+func TestLineTooLongReply(t *testing.T) {
+	addr := startTestServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	big := make([]byte, (1<<22)+100)
+	for i := range big {
+		big[i] = 'a'
+	}
+	big[len(big)-1] = '\n'
+	if _, err := conn.Write(big); err != nil {
+		t.Fatalf("write oversized line: %v", err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	if !strings.Contains(line, `"line too long"`) || strings.Contains(line, `"ok":true`) {
+		t.Fatalf("want line-too-long error frame, got %s", line)
+	}
+}
+
+// TestWireResume drops a connection mid-session and resumes the session from
+// a fresh connection by token; an explicit detach then forgets it.
+func TestWireResume(t *testing.T) {
+	addr := startTestServer(t)
+
+	c1 := dialClient(t, addr)
+	token := c1.must(`{"op":"ping"}`).Token
+	if token == "" {
+		t.Fatal("ping carries no resume token")
+	}
+	c1.brush(2)
+	want := c1.must(`{"op":"relation","name":"selected_months"}`)
+	c1.conn.Close() // drop without detaching: session stays resumable
+
+	c2 := dialClient(t, addr)
+	resp := c2.must(fmt.Sprintf(`{"op":"resume","token":%q}`, token))
+	if resp.Token != token {
+		t.Fatalf("resumed token %q, want %q", resp.Token, token)
+	}
+	got := c2.must(`{"op":"relation","name":"selected_months"}`)
+	if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+		t.Fatalf("resumed selection differs:\n got %v\nwant %v", got.Rows, want.Rows)
+	}
+	// The resumed session keeps working over the new connection.
+	c2.must(`{"op":"undo"}`)
+
+	c2.must(`{"op":"detach"}`)
+	c3 := dialClient(t, addr)
+	if resp := c3.roundTrip(fmt.Sprintf(`{"op":"resume","token":%q}`, token)); resp.OK {
+		t.Fatalf("resume after explicit detach should fail, got %+v", resp)
+	}
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func dialRetry(t *testing.T, addr string) *testClient {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			t.Cleanup(func() { conn.Close() })
+			return &testClient{t: t, conn: conn, r: bufio.NewReader(conn)}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSigtermRestartResume is the acceptance path: a durable server takes a
+// brush, SIGTERM shuts it down gracefully (open connections get a shutdown
+// frame, the log seals, run returns nil), and a second server over the same
+// -data-dir recovers the base data and resumes the client's session by token.
+func TestSigtermRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() { done <- run(addr, "", "ivm", 300, 7, 0, 0, dir, "never") }()
+
+	c := dialRetry(t, addr)
+	token := c.must(`{"op":"ping"}`).Token
+	c.brush(3)
+	want := c.must(`{"op":"relation","name":"selected_months"}`)
+	if len(want.Rows) != 4 {
+		t.Fatalf("brush selected %d months, want 4", len(want.Rows))
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The open connection receives the shutdown frame before the close.
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read shutdown frame: %v", err)
+	}
+	if !strings.Contains(line, "server shutting down") {
+		t.Fatalf("want shutdown frame, got %s", line)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+
+	addr2 := freePort(t)
+	done2 := make(chan error, 1)
+	go func() { done2 <- run(addr2, "", "ivm", 300, 7, 0, 0, dir, "never") }()
+	c2 := dialRetry(t, addr2)
+	resp := c2.must(fmt.Sprintf(`{"op":"resume","token":%q}`, token))
+	if resp.Token != token {
+		t.Fatalf("resumed token %q, want %q", resp.Token, token)
+	}
+	got := c2.must(`{"op":"relation","name":"selected_months"}`)
+	if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+		t.Fatalf("selection after restart differs:\n got %v\nwant %v", got.Rows, want.Rows)
+	}
+	// Recovery must not re-run the workload load: same base row count.
+	count := c2.must(`{"op":"query","q":"SELECT count(*) FROM Sales"}`)
+	if fmt.Sprint(count.Rows) != "[[300]]" {
+		t.Fatalf("base rows after restart: %v, want [[300]]", count.Rows)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("second shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second server did not exit after SIGTERM")
+	}
+}

@@ -1,7 +1,15 @@
 // Command dvms-serve exposes a multi-client DVMS session server over TCP.
-// Each connection is one session: it owns its private selection state and
-// framebuffer while sharing the base data, the selection-independent views,
-// and the data-sized join build states with every other connected client.
+// Each connection drives one session: it owns its private selection state
+// and framebuffer while sharing the base data, the selection-independent
+// views, and the data-sized join build states with every other connected
+// client. Closing the connection keeps the session resumable by its token;
+// an explicit detach forgets it.
+//
+// With -data-dir set the server is durable: the shared engine's delta log
+// and every session's resume journal persist in a write-ahead log, so a
+// restart over the same directory recovers the base data, its version
+// history, and every resumable session. -fsync picks the durability/latency
+// trade-off (always, interval, never).
 //
 // The protocol is newline-delimited JSON, one request per line:
 //
@@ -12,23 +20,32 @@
 //	{"op":"undo"}
 //	{"op":"stats"}
 //	{"op":"ping"}
+//	{"op":"resume","token":"<token from an earlier ping>"}
+//	{"op":"detach"}
 //
 // Responses are one JSON object per line: {"ok":true,...} or
-// {"ok":false,"error":"..."}.
+// {"ok":false,"error":"..."}. SIGINT/SIGTERM shut down gracefully: the
+// listener closes, every connection gets a shutdown error frame, the log
+// seals, and the process exits 0.
 //
 // Usage:
 //
 //	dvms-serve -addr :7077 -workload ivm -n 100000
-//	dvms-serve -addr :7077 -program crossfilter.devil
+//	dvms-serve -addr :7077 -program crossfilter.devil -data-dir ./data -fsync interval
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/events"
@@ -36,6 +53,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/relation"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -47,15 +65,17 @@ func main() {
 		seed        = flag.Int64("seed", 7, "workload seed")
 		maxSessions = flag.Int("max-sessions", 0, "session cap (0 = unlimited)")
 		idle        = flag.Duration("idle-timeout", 10*time.Minute, "idle session eviction age")
+		dataDir     = flag.String("data-dir", "", "durable log directory (empty = in-memory only)")
+		fsyncMode   = flag.String("fsync", "interval", "log fsync policy: always, interval, never")
 	)
 	flag.Parse()
-	if err := run(*addr, *program, *workloadID, *n, *seed, *maxSessions, *idle); err != nil {
+	if err := run(*addr, *program, *workloadID, *n, *seed, *maxSessions, *idle, *dataDir, *fsyncMode); err != nil {
 		fmt.Fprintln(os.Stderr, "dvms-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, programPath, workloadID string, n int, seed int64, maxSessions int, idle time.Duration) error {
+func run(addr, programPath, workloadID string, n int, seed int64, maxSessions int, idle time.Duration, dataDir, fsyncMode string) error {
 	var src string
 	var load func(*server.Server) error
 	switch {
@@ -74,12 +94,36 @@ func run(addr, programPath, workloadID string, n int, seed int64, maxSessions in
 	default:
 		return fmt.Errorf("unknown workload %q", workloadID)
 	}
-	srv, err := server.New(server.Config{MaxSessions: maxSessions, IdleTimeout: idle}, src)
-	if err != nil {
-		return err
-	}
-	if err := load(srv); err != nil {
-		return err
+	cfg := server.Config{MaxSessions: maxSessions, IdleTimeout: idle}
+	var srv *server.Server
+	if dataDir != "" {
+		policy, err := wal.ParsePolicy(fsyncMode)
+		if err != nil {
+			return err
+		}
+		var rep wal.Report
+		srv, rep, err = server.NewDurable(cfg, src, wal.Options{Dir: dataDir, Policy: policy})
+		if err != nil {
+			return err
+		}
+		if rep.Records > 0 || rep.CheckpointCommits > 0 {
+			// Recovered state already includes the workload load; loading
+			// again would double the base rows.
+			log.Printf("dvms-serve: recovered from %s: %s", dataDir, rep)
+		} else {
+			if err := load(srv); err != nil {
+				return err
+			}
+		}
+	} else {
+		var err error
+		srv, err = server.New(cfg, src)
+		if err != nil {
+			return err
+		}
+		if err := load(srv); err != nil {
+			return err
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -95,13 +139,53 @@ func run(addr, programPath, workloadID string, n int, seed int64, maxSessions in
 			}
 		}()
 	}
+
+	var (
+		connMu       sync.Mutex
+		conns        = map[net.Conn]bool{}
+		wg           sync.WaitGroup
+		shuttingDown atomic.Bool
+	)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("dvms-serve: %s: shutting down", sig)
+		shuttingDown.Store(true)
+		ln.Close()
+		connMu.Lock()
+		for c := range conns {
+			protocol.WriteResponse(c, protocol.Response{Error: "server shutting down"})
+			c.Close()
+		}
+		connMu.Unlock()
+	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if shuttingDown.Load() {
+				break
+			}
 			return err
 		}
-		go serveConn(srv, conn)
+		connMu.Lock()
+		conns[conn] = true
+		connMu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveConn(srv, conn)
+			connMu.Lock()
+			delete(conns, conn)
+			connMu.Unlock()
+		}()
 	}
+	wg.Wait()
+	if err := srv.Shutdown(); err != nil {
+		return fmt.Errorf("seal log: %w", err)
+	}
+	log.Printf("dvms-serve: shutdown complete")
+	return nil
 }
 
 func serveConn(srv *server.Server, conn net.Conn) {
@@ -111,7 +195,9 @@ func serveConn(srv *server.Server, conn net.Conn) {
 		protocol.WriteResponse(conn, protocol.Response{Error: err.Error()})
 		return
 	}
-	defer sess.Detach()
+	// No detach on connection close: the session stays resumable by its
+	// token (idle eviction reclaims its memory; the journal keeps it
+	// resumable). An explicit {"op":"detach"} forgets it.
 	log.Printf("dvms-serve: session %d attached (%s)", sess.ID(), conn.RemoteAddr())
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -120,22 +206,46 @@ func serveConn(srv *server.Server, conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
-		resp := handle(srv, sess, line)
+		resp, next := handle(srv, sess, line)
+		if next != nil {
+			sess = next
+		}
 		if err := protocol.WriteResponse(conn, resp); err != nil {
 			break
 		}
 	}
-	log.Printf("dvms-serve: session %d detached", sess.ID())
+	if errors.Is(sc.Err(), bufio.ErrTooLong) {
+		// The scanner is dead at this point (a request exceeded the 4MB
+		// line budget); tell the client why instead of silently hanging up.
+		protocol.WriteResponse(conn, protocol.Response{Error: "line too long"})
+	}
+	log.Printf("dvms-serve: session %d connection closed", sess.ID())
 }
 
-func handle(srv *server.Server, sess *server.Session, line []byte) protocol.Response {
+// handle serves one request line. The second return value is non-nil when
+// the request swapped the connection's session (resume).
+func handle(srv *server.Server, sess *server.Session, line []byte) (protocol.Response, *server.Session) {
 	req, err := protocol.ParseRequest(line)
 	if err != nil {
-		return protocol.Response{Error: err.Error()}
+		return protocol.Response{Error: err.Error()}, nil
 	}
 	switch req.Op {
 	case "ping":
-		return protocol.Response{OK: true, Session: sess.ID()}
+		return protocol.Response{OK: true, Session: sess.ID(), Token: sess.Token()}, nil
+	case "resume":
+		next, err := srv.Resume(req.Token)
+		if err != nil {
+			return protocol.Response{Error: err.Error()}, nil
+		}
+		if next != sess {
+			// Drop the session this connection was using (usually the
+			// auto-attached fresh one); the client asked for its old state.
+			sess.Detach()
+		}
+		return protocol.Response{OK: true, Session: next.ID(), Token: next.Token()}, next
+	case "detach":
+		sess.Detach()
+		return protocol.Response{OK: true, Session: sess.ID()}, nil
 	case "event":
 		var ev events.Event
 		if req.Type == events.KeyPress {
@@ -145,40 +255,40 @@ func handle(srv *server.Server, sess *server.Session, line []byte) protocol.Resp
 		}
 		te, err := sess.Feed(ev)
 		if err != nil {
-			return protocol.Response{Error: err.Error()}
+			return protocol.Response{Error: err.Error()}, nil
 		}
 		return protocol.Response{
 			OK: true, Session: sess.ID(),
 			Interaction: te.Interaction, Began: te.Began,
 			Committed: te.Committed, Aborted: te.Aborted,
 			RowsEmitted: te.RowsEmitted, Version: te.Version,
-		}
+		}, nil
 	case "relation":
 		rel, err := sess.Relation(req.Name)
 		if err != nil {
-			return protocol.Response{Error: err.Error()}
+			return protocol.Response{Error: err.Error()}, nil
 		}
-		return relationResponse(sess.ID(), rel)
+		return relationResponse(sess.ID(), rel), nil
 	case "query":
 		rel, err := sess.Query(req.Q)
 		if err != nil {
-			return protocol.Response{Error: err.Error()}
+			return protocol.Response{Error: err.Error()}, nil
 		}
-		return relationResponse(sess.ID(), rel)
+		return relationResponse(sess.ID(), rel), nil
 	case "undo":
 		if err := sess.Undo(); err != nil {
-			return protocol.Response{Error: err.Error()}
+			return protocol.Response{Error: err.Error()}, nil
 		}
-		return protocol.Response{OK: true, Session: sess.ID()}
+		return protocol.Response{OK: true, Session: sess.ID()}, nil
 	case "stats":
 		st, err := sess.Stats()
 		if err != nil {
-			return protocol.Response{Error: err.Error()}
+			return protocol.Response{Error: err.Error()}, nil
 		}
 		server := srv.Stats()
-		return protocol.Response{OK: true, Session: sess.ID(), Stats: &st, Server: &server}
+		return protocol.Response{OK: true, Session: sess.ID(), Stats: &st, Server: &server}, nil
 	default:
-		return protocol.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+		return protocol.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}, nil
 	}
 }
 

@@ -79,6 +79,11 @@ type Engine struct {
 	// activeTxn is the compound table name of the in-flight interaction.
 	activeTxn string
 
+	// recovering marks a WAL-recovery program load: relations already
+	// rebuilt from the log are adopted instead of re-created, and data
+	// statements (INSERT/DELETE) are skipped because their effects replayed.
+	recovering bool
+
 	img      *render.Image
 	warnings []string
 
@@ -282,13 +287,22 @@ func (e *Engine) execStmt(s parser.Statement) error {
 	switch n := s.(type) {
 	case *parser.CreateTableStmt:
 		if e.hasRel(n.Name) {
+			if e.recovering {
+				return nil // table rebuilt from the log; adopt it
+			}
 			return fmt.Errorf("relation %q already exists", n.Name)
 		}
 		e.store.Put(relation.New(n.Name, n.Schema))
 		return nil
 	case *parser.InsertStmt:
+		if e.recovering {
+			return nil // the load's effects replayed from the log
+		}
 		return e.execInsert(n)
 	case *parser.DeleteStmt:
+		if e.recovering {
+			return nil
+		}
 		return e.execDelete(n)
 	case *parser.EventStmt:
 		return e.defineEvent(n)
@@ -501,7 +515,8 @@ func (e *Engine) defineEvent(stmt *parser.EventStmt) error {
 	if err != nil {
 		return err
 	}
-	if e.hasRel(stmt.Name) {
+	exists := e.hasRel(stmt.Name)
+	if exists && !e.recovering {
 		return fmt.Errorf("relation %q already exists", stmt.Name)
 	}
 	for _, other := range e.recognizers {
@@ -512,7 +527,9 @@ func (e *Engine) defineEvent(stmt *parser.EventStmt) error {
 		}
 	}
 	e.recognizers = append(e.recognizers, rec)
-	e.store.Put(relation.New(stmt.Name, rec.Schema()))
+	if !exists {
+		e.store.Put(relation.New(stmt.Name, rec.Schema()))
+	}
 	return nil
 }
 
@@ -543,7 +560,10 @@ func (e *Engine) defineView(stmt *parser.AssignStmt) error {
 		}
 	}
 	_, redefinition := e.views[k]
-	if !redefinition && e.hasRel(stmt.Name) && !e.isView(stmt.Name) {
+	// During WAL recovery the view's replayed contents are already in the
+	// store before its definition reinstalls, which is indistinguishable
+	// from a base relation here; adopt instead of rejecting.
+	if !redefinition && e.hasRel(stmt.Name) && !e.isView(stmt.Name) && !e.recovering {
 		return fmt.Errorf("cannot redefine base relation %q as a view", stmt.Name)
 	}
 	e.views[k] = v
@@ -561,6 +581,13 @@ func (e *Engine) defineView(stmt *parser.AssignStmt) error {
 	}
 	e.topo = topo
 	e.deps = dependents(e.views)
+	if e.recovering && e.store.Has(stmt.Name) {
+		// WAL recovery already rebuilt this view's contents; install the
+		// definition (plans bind lazily, re-priming on first use) without
+		// recomputing. Views the program added after the log was written
+		// miss this branch and materialize fresh below.
+		return nil
+	}
 	// A (re)definition can only change schemas its transitive dependents
 	// were bound against; those rebind lazily on their next recompute.
 	// Unrelated views keep their compiled plans (and, under a server, their

@@ -8,10 +8,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/plan"
 	"repro/internal/relation"
+	"repro/internal/wal"
 )
 
 // snapshot is the full database state at a point in time: every relation's
@@ -134,6 +136,14 @@ type Store struct {
 
 	cache versionCache
 	stats *VersioningStats
+
+	// sink, when set, receives one wal record per sealed boundary and per
+	// control operation (rollback / restore) — the durable delta log. walRec
+	// staggers the sealed-window record so it is emitted only after the
+	// caller's bookkeeping (commitAt, txnAt) is consistent; a segment
+	// rotation inside the emit may then snapshot the store as a checkpoint.
+	sink   func(wal.Record)
+	walRec wal.Record
 }
 
 // NewStore creates an empty store keeping up to maxHistory committed
@@ -310,7 +320,8 @@ func (s *Store) captureCheckpoint() *checkpoint {
 // (plus full captures only for created/reset relations and sparse
 // checkpoints), which is the tentpole property: MarkEvent and Commit no
 // longer copy the database.
-func (s *Store) seal(commit bool) int {
+func (s *Store) seal(op wal.SealOp) int {
+	commit := op == wal.SealCommit
 	e := logEntry{commit: commit}
 	needCP := s.pendResetAll || len(s.entries) == 0
 	if commit {
@@ -345,10 +356,64 @@ func (s *Store) seal(commit bool) int {
 			e.createdSet = s.pendCreatedSet
 		}
 	}
+	if s.sink != nil {
+		s.walRec = changeRecord(op, &e)
+	}
 	s.clearPending()
 	s.entries = append(s.entries, e)
 	s.stats.DeltaLogEvents++
 	return s.tailAbs()
+}
+
+// changeRecord serializes one sealed window for the wal sink. Barrier
+// windows (after a RestoreVersion) carry nothing: the preceding restore
+// control record reproduces their state on replay.
+func changeRecord(op wal.SealOp, e *logEntry) *wal.ChangeRecord {
+	rec := &wal.ChangeRecord{Seal: op, Created: e.created}
+	for k, d := range e.deltas {
+		rec.Deltas = append(rec.Deltas, wal.NamedDelta{Name: k, Delta: d})
+	}
+	sort.Slice(rec.Deltas, func(i, j int) bool { return rec.Deltas[i].Name < rec.Deltas[j].Name })
+	for _, r := range e.resets {
+		rec.Resets = append(rec.Resets, r)
+	}
+	sort.Slice(rec.Resets, func(i, j int) bool {
+		return keyOf(rec.Resets[i].Name) < keyOf(rec.Resets[j].Name)
+	})
+	return rec
+}
+
+// emitWAL flushes the record staged by seal. Callers invoke it after their
+// boundary bookkeeping is complete, so a checkpoint taken during a segment
+// rotation inside the append sees a consistent store.
+func (s *Store) emitWAL() {
+	if s.walRec != nil {
+		rec := s.walRec
+		s.walRec = nil
+		s.sink(rec)
+	}
+}
+
+// walCheckpoint is the segment-rotation snapshot provider: the full live
+// state plus the total commit count, offered only at a committed rest state
+// (no pending changes, no transaction, log tail == newest commit) so replay
+// can seed the checkpoint as that committed version. Anywhere else it
+// returns nil and the rotation waits.
+func (s *Store) walCheckpoint() *wal.CheckpointRecord {
+	if s.txnAt != nil || s.pendResetAll || len(s.pendDeltas)+len(s.pendUnknown)+len(s.pendCreated) > 0 {
+		return nil
+	}
+	if len(s.commitAt) == 0 || s.commitAt[len(s.commitAt)-1] != s.tailAbs() {
+		return nil
+	}
+	cp := &wal.CheckpointRecord{
+		Commits: s.droppedCommits + len(s.commitAt),
+		Rels:    make([]*relation.Relation, 0, len(s.names)),
+	}
+	for _, nm := range s.names {
+		cp.Rels = append(cp.Rels, s.rels[keyOf(nm)].Snapshot())
+	}
+	return cp
 }
 
 // Commit seals the pending changes as a new committed version, compacts
@@ -356,7 +421,7 @@ func (s *Store) seal(commit bool) int {
 // evicts history beyond maxHistory, and clears the transaction event
 // history. Returns the committed version index.
 func (s *Store) Commit() int {
-	abs := s.seal(true)
+	abs := s.seal(wal.SealCommit)
 	abs = s.compactWindow(abs)
 	s.commitAt = append(s.commitAt, abs)
 	if len(s.commitAt) > s.maxHistory {
@@ -366,6 +431,7 @@ func (s *Store) Commit() int {
 		s.trim()
 	}
 	s.txnAt = nil
+	s.emitWAL()
 	return s.droppedCommits + len(s.commitAt) - 1
 }
 
@@ -471,14 +537,16 @@ func (s *Store) Versions() int { return len(s.commitAt) }
 // BeginTxn seals the pre-event state as the transaction-begin boundary and
 // starts the intra-transaction event history.
 func (s *Store) BeginTxn() {
-	s.txnAt = []int{s.seal(false)}
+	s.txnAt = []int{s.seal(wal.SealBegin)}
+	s.emitWAL()
 }
 
 // MarkEvent seals the changes of one applied event as a new @tnow
 // boundary. Unlike the snapshot store this is O(event delta).
 func (s *Store) MarkEvent() {
 	if s.txnAt != nil {
-		s.txnAt = append(s.txnAt, s.seal(false))
+		s.txnAt = append(s.txnAt, s.seal(wal.SealEvent))
+		s.emitWAL()
 	}
 }
 
@@ -741,6 +809,9 @@ func (s *Store) Rollback() error {
 	s.cache.purgeAbove(target)
 	s.txnAt = nil
 	s.clearPending()
+	if s.sink != nil {
+		s.sink(&wal.ControlRecord{Op: wal.CtlRollback})
+	}
 	return nil
 }
 
@@ -762,6 +833,9 @@ func (s *Store) RestoreVersion(i int) error {
 	}
 	s.clearPending()
 	s.pendResetAll = true
+	if s.sink != nil {
+		s.sink(&wal.ControlRecord{Op: wal.CtlRestore, Version: i})
+	}
 	return nil
 }
 

@@ -1,0 +1,214 @@
+package experiments
+
+// The durability workload: what the delta-log WAL costs per event on the
+// long-drag tail, per fsync policy, and how long recovery takes to rebuild
+// the engine from the log. The event loop is the same no-op-move tail as
+// VersioningExperiment, so the baseline arm isolates exactly the append
+// overhead; the recovery arm replays a 100k-event log and times it (the
+// acceptance bar is seconds, not minutes).
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/wal"
+)
+
+// walArms are the measured fsync policies, in increasing durability.
+var walArms = []struct {
+	name   string
+	policy wal.Policy
+}{
+	{"never", wal.SyncNever},
+	{"interval", wal.SyncInterval},
+	{"always", wal.SyncAlways},
+}
+
+// newDurableIVMEngine boots the join-based crossfilter with the WAL attached
+// before the program loads (so the load is logged) and n sales rows inserted.
+func newDurableIVMEngine(n int, seed int64, dir string, policy wal.Policy, cfg core.Config) (*core.Engine, *wal.Log, error) {
+	l, rec, err := wal.Open(wal.Options{Dir: dir, Policy: policy})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.Checkpoint != nil || len(rec.Records) > 0 {
+		l.Close()
+		return nil, nil, fmt.Errorf("wal experiment: dir %s not empty", dir)
+	}
+	e := core.New(cfg)
+	e.AttachWAL(l)
+	if err := e.LoadProgram(BuildIVMCrossfilterProgram()); err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	if err := LoadIVMSales(e, n, seed); err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	e.Commit()
+	return e, l, nil
+}
+
+// dragTail opens a drag covering every month (after a warm-up brush) and
+// feeds nEvents no-op move events, returning µs per event. Every event seals
+// a @tnow version and, with a WAL attached, appends one record.
+func dragTail(e *core.Engine, nEvents int) (float64, error) {
+	if _, err := e.FeedStream(IVMBrushStream(2)); err != nil {
+		return 0, err
+	}
+	open, grow, _ := IVMBrushPhases(12)
+	if _, err := e.FeedStream(append(append(events.Stream{}, open...), grow...)); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	t0 := int64(1000)
+	for k := 0; k < nEvents; k++ {
+		ev := events.Mouse(events.MouseMove, t0+int64(k), 300+int64(k%5), 45)
+		if _, err := e.FeedEvent(ev); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / float64(nEvents), nil
+}
+
+// eventTail feeds nEvents as a sequence of bounded drags — mouse-down, ~100
+// moves, mouse-up — committing at every release the way a real client does.
+// A single drag of that length would be wrong twice over: the engine's
+// intra-transaction event history grows with every uncommitted move (so
+// per-event cost climbs without bound, independent of the WAL), and replay
+// would re-drive the same ever-longer transaction on recovery.
+func eventTail(e *core.Engine, nEvents int) error {
+	open, grow, release := IVMBrushPhases(12)
+	intro := append(append(events.Stream{}, open...), grow...)
+	fed := 0
+	for fed < nEvents {
+		if _, err := e.FeedStream(intro); err != nil {
+			return err
+		}
+		fed += len(intro)
+		for k := 0; k < 100 && fed < nEvents; k++ {
+			ev := events.Mouse(events.MouseMove, int64(1000+fed), 300+int64(k%5), 45)
+			if _, err := e.FeedEvent(ev); err != nil {
+				return err
+			}
+			fed++
+		}
+		if _, err := e.FeedStream(release); err != nil {
+			return err
+		}
+		fed += len(release)
+	}
+	return nil
+}
+
+// WALExperiment measures, per base size: the in-memory baseline µs/event,
+// the same tail under each fsync policy, and the time to recover the engine
+// from the never-policy log. When the largest size allows it, a separate
+// 100k-event log is written and recovered to pin recovery time against
+// event-log length rather than base size.
+func WALExperiment(sizes []int, nEvents int, seed int64) (Result, error) {
+	var b strings.Builder
+	b.WriteString("Durability — WAL append overhead per event by fsync policy,\nand crash-recovery time from the delta log\n")
+	fmt.Fprintf(&b, "(join-based crossfilter; %d no-op move events per arm on an\nall-months drag; recovery replays load + events from the log)\n\n", nEvents)
+	stats := map[string]int64{}
+	for _, n := range sizes {
+		base, err := NewIVMEngine(n, seed, core.Config{})
+		if err != nil {
+			return Result{}, err
+		}
+		baseUS, err := dragTail(base, nEvents)
+		if err != nil {
+			return Result{}, err
+		}
+		fmt.Fprintf(&b, "n=%-8d baseline (no wal): %8.2f µs/event\n", n, baseUS)
+		stats[fmt.Sprintf("n%d_baseline_ns_event", n)] = int64(baseUS * 1e3)
+		var recoverDir string
+		for _, arm := range walArms {
+			dir, err := os.MkdirTemp("", "dvms-wal-bench-")
+			if err != nil {
+				return Result{}, err
+			}
+			defer os.RemoveAll(dir)
+			e, l, err := newDurableIVMEngine(n, seed, dir, arm.policy, core.Config{})
+			if err != nil {
+				return Result{}, err
+			}
+			us, err := dragTail(e, nEvents)
+			if err != nil {
+				return Result{}, err
+			}
+			ls := l.Stats()
+			if err := l.Close(); err != nil {
+				return Result{}, err
+			}
+			fmt.Fprintf(&b, "n=%-8d -fsync %-8s: %8.2f µs/event (%.2fx baseline, %d fsyncs, %.1f MB log)\n",
+				n, arm.name, us, us/baseUS, ls.Fsyncs, float64(ls.BytesAppended)/(1<<20))
+			stats[fmt.Sprintf("n%d_%s_ns_event", n, arm.name)] = int64(us * 1e3)
+			stats[fmt.Sprintf("n%d_%s_log_bytes", n, arm.name)] = ls.BytesAppended
+			stats[fmt.Sprintf("n%d_%s_fsyncs", n, arm.name)] = ls.Fsyncs
+			if arm.policy == wal.SyncNever {
+				recoverDir = dir
+			}
+		}
+		// Recover the never-policy log: open repairs and replays the store
+		// records, then the program reload re-derives views and re-renders.
+		start := time.Now()
+		l, rec, err := wal.Open(wal.Options{Dir: recoverDir})
+		if err != nil {
+			return Result{}, err
+		}
+		re, err := core.RecoverEngine(core.Config{}, BuildIVMCrossfilterProgram(), rec)
+		if err != nil {
+			return Result{}, err
+		}
+		ms := time.Since(start).Milliseconds()
+		l.Close()
+		fmt.Fprintf(&b, "n=%-8d recovery: %d records in %d ms (%d versions live)\n\n",
+			n, rec.Report.Records, ms, re.Store().Versions())
+		stats[fmt.Sprintf("n%d_recover_ms", n)] = ms
+		stats[fmt.Sprintf("n%d_recover_records", n)] = int64(rec.Report.Records)
+	}
+	// Recovery vs event-log length: a 100k-event log over a small base, so
+	// the measured time is replay-dominated. The events arrive as bounded
+	// drags (see eventTail) and history is capped so both the write side and
+	// the replay stay linear in the event count. Only run at full size; the
+	// smoke runs skip it.
+	if len(sizes) > 0 && sizes[len(sizes)-1] >= 100000 {
+		const recEvents = 100000
+		recCfg := core.Config{MaxHistory: 32}
+		dir, err := os.MkdirTemp("", "dvms-wal-bench-")
+		if err != nil {
+			return Result{}, err
+		}
+		defer os.RemoveAll(dir)
+		e, l, err := newDurableIVMEngine(10000, seed, dir, wal.SyncNever, recCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := eventTail(e, recEvents); err != nil {
+			return Result{}, err
+		}
+		if err := l.Close(); err != nil {
+			return Result{}, err
+		}
+		start := time.Now()
+		l2, rec, err := wal.Open(wal.Options{Dir: dir})
+		if err != nil {
+			return Result{}, err
+		}
+		if _, err := core.RecoverEngine(recCfg, BuildIVMCrossfilterProgram(), rec); err != nil {
+			return Result{}, err
+		}
+		ms := time.Since(start).Milliseconds()
+		l2.Close()
+		fmt.Fprintf(&b, "100k-event log (10k-row base): %d records recovered in %d ms\n",
+			rec.Report.Records, ms)
+		stats["events100k_recover_ms"] = ms
+		stats["events100k_recover_records"] = int64(rec.Report.Records)
+	}
+	return Result{ID: "wal", Title: "Durability: WAL append overhead and recovery time", Output: b.String(), Stats: stats}, nil
+}

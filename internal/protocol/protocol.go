@@ -16,8 +16,14 @@ import (
 
 // Request is one client line.
 type Request struct {
-	// Op selects the action: ping, event, relation, query, undo, stats.
+	// Op selects the action: ping, event, relation, query, undo, stats,
+	// resume, detach.
 	Op string `json:"op"`
+
+	// Token names a session for resume: the connection swaps its
+	// auto-attached session for the one the token identifies (live,
+	// evicted, or — on a durable server — from before a restart).
+	Token string `json:"token,omitempty"`
 
 	// event fields: Type is an event type (MOUSE_DOWN, MOUSE_MOVE,
 	// MOUSE_UP, HOVER, KEY_PRESS), T the timestamp, X/Y the position, Key
@@ -40,6 +46,10 @@ type Response struct {
 	OK      bool   `json:"ok"`
 	Error   string `json:"error,omitempty"`
 	Session int    `json:"session,omitempty"`
+	// Token is the session's stable resume identity (ping and resume
+	// responses): present it in a later resume request to pick the session
+	// back up after a disconnect, eviction, or server restart.
+	Token string `json:"token,omitempty"`
 
 	// event echo: how the event advanced the interaction transaction.
 	Interaction string `json:"interaction,omitempty"`

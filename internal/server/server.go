@@ -23,11 +23,13 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/relation"
+	"repro/internal/wal"
 )
 
 // Config parameterizes a Server.
@@ -49,8 +51,10 @@ type Config struct {
 type Stats struct {
 	Sessions  int   // currently attached
 	Attached  int64 // sessions ever attached
+	Resumed   int64 // sessions rebuilt from their journal
 	Detached  int64 // explicit detaches
 	Evicted   int64 // idle evictions
+	Journals  int   // resume journals retained (attached + resumable)
 	BaseWrite int64 // single-writer ingestion batches
 
 	// Share describes the shared-state registry: Builds counts data-sized
@@ -84,6 +88,19 @@ type Server struct {
 	sessions map[int]*Session
 	nextID   int
 
+	// byToken indexes live sessions by their stable resume token; journal
+	// holds each token's resume journal (event-sourced private state), which
+	// outlives the session object across eviction and — with log set — across
+	// process restarts. journal/byToken are mutated under jmu plus at least
+	// the read lock; readers hold either the write lock or jmu (see
+	// journalAppend and walCheckpoint for why this is deadlock-free).
+	jmu     sync.Mutex
+	journal map[string][]wal.SessionRecord
+	byToken map[string]*Session
+	log     *wal.Log    // nil: non-durable server
+	baseCP  func() *wal.CheckpointRecord
+	sealed  atomic.Bool // Shutdown ran: suppress journal appends
+
 	// epoch counts sealed base-write batches. Sessions record the epoch at
 	// each of their commits; a session abort/undo that restores private
 	// views computed against an older epoch must resync them against the
@@ -91,7 +108,7 @@ type Server struct {
 	// transactions and are never rolled back per client).
 	epoch int64
 
-	attached, detached, evicted, baseWrites int64
+	attached, resumed, detached, evicted, baseWrites int64
 }
 
 // New builds a server for the program: the program is parsed and split
@@ -107,14 +124,20 @@ func New(cfg Config, program string) (*Server, error) {
 		return nil, fmt.Errorf("server: load shared program: %w", err)
 	}
 	base.Commit()
+	return newServer(cfg, split, base), nil
+}
+
+func newServer(cfg Config, split *core.ProgramSplit, base *core.Engine) *Server {
 	s := &Server{
 		cfg:      cfg,
 		split:    split,
 		base:     base,
 		sessions: make(map[int]*Session),
+		journal:  make(map[string][]wal.SessionRecord),
+		byToken:  make(map[string]*Session),
 	}
 	s.group = exec.NewShareGroup(func(name string) bool { return split.SharedNames[name] })
-	return s, nil
+	return s
 }
 
 // Base exposes the shared engine (single-threaded setup and tests only).
@@ -158,8 +181,11 @@ func (s *Server) Attach() (*Session, error) {
 	}
 	s.nextID++
 	sess.id = s.nextID
+	sess.token = s.newToken()
 	s.sessions[sess.id] = sess
+	s.byToken[sess.token] = sess
 	s.attached++
+	s.journalAppend(wal.SessionRecord{Token: sess.token, Op: wal.SessAttach})
 	return sess, nil
 }
 
@@ -203,10 +229,14 @@ func (s *Server) detach(sess *Session, evicted bool) {
 		return
 	}
 	delete(s.sessions, sess.id)
+	delete(s.byToken, sess.token)
 	if evicted {
 		s.evicted++
 	} else {
+		// Explicit detach is the client saying goodbye: drop the resume
+		// journal too (eviction keeps it — the client may come back).
 		s.detached++
+		s.journalAppend(wal.SessionRecord{Token: sess.token, Op: wal.SessForget})
 	}
 	sess.closed.Store(true)
 	sess.eng.Close()
@@ -232,6 +262,7 @@ func (s *Server) evictIdleLocked(olderThan time.Duration, limit int) int {
 			continue
 		}
 		delete(s.sessions, id)
+		delete(s.byToken, sess.token)
 		sess.closed.Store(true)
 		sess.eng.Close()
 		s.evicted++
@@ -351,6 +382,7 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		Sessions:  len(s.sessions),
 		Attached:  s.attached,
+		Resumed:   s.resumed,
 		Detached:  s.detached,
 		Evicted:   s.evicted,
 		BaseWrite: s.baseWrites,
@@ -359,6 +391,9 @@ func (s *Server) Stats() Stats {
 		SharedSides: s.group.Sides(),
 		SharedRows:  s.group.SharedRows(),
 	}
+	s.jmu.Lock()
+	st.Journals = len(s.journal)
+	s.jmu.Unlock()
 	st.SharedBytes = s.base.ApproxBytes() + s.group.ApproxBytes()
 	for _, sess := range s.sessions {
 		st.PrivateBytesTotal += sess.eng.ApproxBytes()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/relation"
 	"repro/internal/render"
+	"repro/internal/wal"
 )
 
 // Session is one client's private slice of the server: its own event
@@ -18,6 +19,7 @@ import (
 // (they hold the server read lock); a single session serializes itself.
 type Session struct {
 	id     int
+	token  string // stable resume identity (outlives the session object)
 	srv    *Server
 	eng    *core.Engine
 	closed atomic.Bool
@@ -54,6 +56,11 @@ func (ss *Session) lastCommitEpoch() int64 {
 // ID identifies the session within its server.
 func (ss *Session) ID() int { return ss.id }
 
+// Token is the session's stable resume identity: it survives connection
+// drops, idle eviction, and (under a durable server) process restarts.
+// Resume(token) rebuilds the session's private state from its journal.
+func (ss *Session) Token() string { return ss.token }
+
 func (ss *Session) touch() { ss.used.Store(time.Now().UnixNano()) }
 
 func (ss *Session) lastUsed() time.Time { return time.Unix(0, ss.used.Load()) }
@@ -88,11 +95,20 @@ func (ss *Session) Feed(evs ...events.Event) (core.TxnEvent, error) {
 		if last, err = ss.eng.FeedEvent(ev); err != nil {
 			return last, err
 		}
+		ss.journal(wal.SessEvent, ev)
 		if err := ss.noteTxn(last); err != nil {
 			return last, err
 		}
 	}
 	return last, nil
+}
+
+// journal appends one op to this session's resume journal (and, under a
+// durable server, to the log). Only successfully applied ops are journaled,
+// so a resume replay reproduces exactly the state the client saw. Caller
+// holds the server read lock.
+func (ss *Session) journal(op wal.SessionOp, ev events.Event) {
+	ss.srv.journalAppend(wal.SessionRecord{Token: ss.token, Op: op, Event: ev})
 }
 
 // noteTxn tracks commit epochs and resyncs after aborts. Caller holds the
@@ -123,6 +139,7 @@ func (ss *Session) FeedStream(stream events.Stream) ([]core.TxnEvent, error) {
 		if err != nil {
 			return out, err
 		}
+		ss.journal(wal.SessEvent, ev)
 		out = append(out, te)
 		if err := ss.noteTxn(te); err != nil {
 			return out, err
@@ -175,6 +192,16 @@ func (ss *Session) Undo() error {
 		return err
 	}
 	defer release()
+	if err := ss.undoLocked(); err != nil {
+		return err
+	}
+	ss.journal(wal.SessUndo, events.Event{})
+	return nil
+}
+
+// undoLocked is Undo's body, shared with journal replay (which must not
+// re-journal). Caller holds the server read lock.
+func (ss *Session) undoLocked() error {
 	n := len(ss.commitEpochs)
 	if err := ss.eng.Undo(); err != nil {
 		return err

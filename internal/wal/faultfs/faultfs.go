@@ -1,0 +1,396 @@
+// Package faultfs abstracts the file operations the WAL needs behind an
+// injectable interface, so the crash-recovery test wall can fail, short-write,
+// or "crash" the process at the k-th write and then re-open the surviving
+// bytes exactly as a restarted process would. Production code uses OS (thin
+// wrappers over package os); tests use Mem, an in-memory filesystem with a
+// fault plan.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the slice of filesystem behavior the WAL uses. Paths are passed
+// through verbatim (the WAL always works under one directory).
+type FS interface {
+	// MkdirAll creates the directory (and parents) if missing.
+	MkdirAll(dir string) error
+	// List returns the file names (not paths) in dir, sorted.
+	List(dir string) ([]string, error)
+	// Open opens an existing file for reading.
+	Open(path string) (File, error)
+	// Create creates (or truncates) a file for writing.
+	Create(path string) (File, error)
+	// OpenAppend opens an existing file for appending.
+	OpenAppend(path string) (File, error)
+	// Truncate shortens a file to size bytes.
+	Truncate(path string, size int64) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// Size reports a file's length in bytes.
+	Size(path string) (int64, error)
+}
+
+// File is one open file handle.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes written data to stable storage.
+	Sync() error
+}
+
+// --- OS: the real filesystem ---
+
+// OS implements FS over package os.
+type OS struct{}
+
+type osFile struct{ *os.File }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// List implements FS.
+func (OS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Open implements FS.
+func (OS) Open(path string) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Create implements FS.
+func (OS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Truncate implements FS.
+func (OS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// Size implements FS.
+func (OS) Size(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// --- Mem: in-memory filesystem with fault injection ---
+
+// ErrCrashed is returned by every operation after the fault plan's crash
+// point fires: the simulated process is dead and can only "restart" by
+// re-opening the filesystem after ClearFaults.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// Plan injects one fault. Writes are counted across all files of the
+// filesystem, 1-based; when the counter reaches FailWrite, only ShortBytes
+// bytes of that write land (0 = a clean record boundary crash) and every
+// subsequent operation fails with ErrCrashed.
+type Plan struct {
+	FailWrite  int // k-th Write call that crashes (0 = never)
+	ShortBytes int // bytes of the failing write that reach "disk"
+}
+
+// Mem is an in-memory FS. The byte contents persist across a simulated
+// crash; a "restarted process" calls ClearFaults and re-opens its files.
+type Mem struct {
+	mu      sync.Mutex
+	files   map[string][]byte
+	synced  map[string]int // bytes guaranteed durable (for DropUnsynced)
+	plan    Plan
+	writes  int
+	crashed bool
+}
+
+// NewMem creates an empty in-memory filesystem with no faults planned.
+func NewMem() *Mem {
+	return &Mem{files: map[string][]byte{}, synced: map[string]int{}}
+}
+
+// SetPlan installs a fault plan and resets the write counter.
+func (m *Mem) SetPlan(p Plan) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.plan = p
+	m.writes = 0
+	m.crashed = false
+}
+
+// ClearFaults clears the crashed flag and the plan: the next opens behave
+// like a freshly restarted process over the surviving bytes.
+func (m *Mem) ClearFaults() { m.SetPlan(Plan{}) }
+
+// Writes reports how many Write calls the filesystem has seen since the
+// last SetPlan/ClearFaults (used to enumerate crash points).
+func (m *Mem) Writes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writes
+}
+
+// Crashed reports whether the crash point fired.
+func (m *Mem) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// DropUnsynced discards every byte written after the last Sync of each
+// file — the power-loss model for testing fsync policies.
+func (m *Mem) DropUnsynced() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, b := range m.files {
+		if n := m.synced[name]; n < len(b) {
+			m.files[name] = b[:n]
+		}
+	}
+}
+
+// Clone deep-copies the filesystem contents (no faults, no open handles):
+// the snapshot a parity test recovers from while the original keeps going.
+func (m *Mem) Clone() *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMem()
+	for name, b := range m.files {
+		c.files[name] = append([]byte(nil), b...)
+		c.synced[name] = m.synced[name]
+	}
+	return c
+}
+
+// Corrupt flips one byte at offset in the named file (testing checksum
+// detection of mid-log corruption).
+func (m *Mem) Corrupt(path string, offset int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[path]
+	if !ok || offset < 0 || offset >= int64(len(b)) {
+		return fmt.Errorf("faultfs: corrupt %s@%d: no such byte", path, offset)
+	}
+	b[offset] ^= 0xff
+	return nil
+}
+
+func (m *Mem) check() error {
+	if m.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// MkdirAll implements FS (directories are implicit in Mem).
+func (m *Mem) MkdirAll(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.check()
+}
+
+// List implements FS.
+func (m *Mem) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for path := range m.files {
+		if strings.HasPrefix(path, prefix) {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Open implements FS.
+func (m *Mem) Open(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	if _, ok := m.files[path]; !ok {
+		return nil, fmt.Errorf("faultfs: open %s: %w", path, os.ErrNotExist)
+	}
+	return &memFile{m: m, path: path, readable: true}, nil
+}
+
+// Create implements FS.
+func (m *Mem) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	m.files[path] = nil
+	m.synced[path] = 0
+	return &memFile{m: m, path: path, writable: true}, nil
+}
+
+// OpenAppend implements FS.
+func (m *Mem) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	if _, ok := m.files[path]; !ok {
+		return nil, fmt.Errorf("faultfs: append %s: %w", path, os.ErrNotExist)
+	}
+	return &memFile{m: m, path: path, writable: true}, nil
+}
+
+// Truncate implements FS.
+func (m *Mem) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return err
+	}
+	b, ok := m.files[path]
+	if !ok {
+		return fmt.Errorf("faultfs: truncate %s: %w", path, os.ErrNotExist)
+	}
+	if size < int64(len(b)) {
+		m.files[path] = b[:size]
+		if m.synced[path] > int(size) {
+			m.synced[path] = int(size)
+		}
+	}
+	return nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return err
+	}
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("faultfs: remove %s: %w", path, os.ErrNotExist)
+	}
+	delete(m.files, path)
+	delete(m.synced, path)
+	return nil
+}
+
+// Size implements FS.
+func (m *Mem) Size(path string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return 0, err
+	}
+	b, ok := m.files[path]
+	if !ok {
+		return 0, fmt.Errorf("faultfs: size %s: %w", path, os.ErrNotExist)
+	}
+	return int64(len(b)), nil
+}
+
+type memFile struct {
+	m        *Mem
+	path     string
+	off      int // read offset
+	readable bool
+	writable bool
+}
+
+// Read implements io.Reader over the current contents.
+func (f *memFile) Read(p []byte) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.m.check(); err != nil {
+		return 0, err
+	}
+	b := f.m.files[f.path]
+	if f.off >= len(b) {
+		return 0, io.EOF
+	}
+	n := copy(p, b[f.off:])
+	f.off += n
+	return n, nil
+}
+
+// Write appends, honoring the fault plan: the k-th write may land only a
+// prefix and flips the filesystem into the crashed state.
+func (f *memFile) Write(p []byte) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.m.check(); err != nil {
+		return 0, err
+	}
+	if !f.writable {
+		return 0, fmt.Errorf("faultfs: %s not open for writing", f.path)
+	}
+	f.m.writes++
+	if f.m.plan.FailWrite > 0 && f.m.writes >= f.m.plan.FailWrite {
+		short := f.m.plan.ShortBytes
+		if short > len(p) {
+			short = len(p)
+		}
+		f.m.files[f.path] = append(f.m.files[f.path], p[:short]...)
+		f.m.crashed = true
+		return short, ErrCrashed
+	}
+	f.m.files[f.path] = append(f.m.files[f.path], p...)
+	return len(p), nil
+}
+
+// Sync marks the current length durable (see DropUnsynced).
+func (f *memFile) Sync() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.m.check(); err != nil {
+		return err
+	}
+	f.m.synced[f.path] = len(f.m.files[f.path])
+	return nil
+}
+
+// Close implements io.Closer (no-op; Mem has no handle state to release).
+func (f *memFile) Close() error { return nil }
