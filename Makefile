@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race cover fuzz-smoke bench bench-exec bench-engine bench-ivm bench-version bench-topk bench-serve bench-wal bench-smoke
+.PHONY: check build vet test test-race cover fuzz-smoke bench bench-exec bench-engine bench-ivm bench-version bench-topk bench-serve bench-wal bench-cube bench-smoke
 
 check: build vet test
 
@@ -41,7 +41,7 @@ fuzz-smoke:
 
 # bench runs the executor microbenchmarks with allocation stats and writes
 # the experiment-series snapshot to BENCH_exec.json via cmd/dvms-bench.
-bench: bench-exec bench-engine bench-ivm bench-version bench-topk bench-serve bench-wal
+bench: bench-exec bench-engine bench-ivm bench-version bench-topk bench-serve bench-wal bench-cube
 
 bench-exec:
 	$(GO) test ./internal/exec -run '^$$' -bench . -benchmem | tee BENCH_exec_micro.txt
@@ -93,6 +93,14 @@ bench-wal:
 	$(GO) run ./cmd/dvms-bench -experiment wal -n 1000000 -format json > BENCH_wal.json
 	@echo "wrote BENCH_wal_micro.txt and BENCH_wal.json"
 
+# bench-cube records the data-cube trajectory: steady brush-move latency on
+# the index-tile path vs the ordinary delta pipeline at 10k/100k/1M (the
+# headline claim is flat µs/event across sizes), plus tile memory and the
+# events-to-break-even amortization of the tile build (BENCH_cube.json).
+bench-cube:
+	$(GO) run ./cmd/dvms-bench -experiment cube -n 1000000 -format json > BENCH_cube.json
+	@echo "wrote BENCH_cube.json"
+
 # bench-smoke is the short-form CI benchmark: proves the benchmark harness
 # runs end to end without committing CI minutes to full sizes. The small-n
 # top-k and serve runs land in *_smoke.json (gitignored) so they never
@@ -104,6 +112,7 @@ bench-smoke:
 	$(GO) run ./cmd/dvms-bench -experiment wal -n 2000 -format json > /dev/null
 	$(GO) run ./cmd/dvms-bench -experiment topk -n 2000 -format json > BENCH_topk_smoke.json
 	$(GO) run ./cmd/dvms-bench -experiment serve -n 2000 -sessions 4 -format json > BENCH_serve_smoke.json
+	$(GO) run ./cmd/dvms-bench -experiment cube -n 2000 -format json > BENCH_cube_smoke.json
 	$(GO) test . -run '^$$' -bench 'BenchmarkIVMBrush/n10000$$/' -benchtime 1x > /dev/null
 	$(GO) test . -run '^$$' -bench 'BenchmarkTopKBrush/n10000/tick' -benchtime 1x > /dev/null
 	$(GO) test ./internal/server -run '^$$' -bench 'BenchmarkServeFanout/n10000/s10' -benchtime 1x > /dev/null

@@ -34,6 +34,11 @@ type Config struct {
 	// CheckpointEvery sets the commit interval between full version-log
 	// checkpoints (bounding @vnow reconstruction walks). Default 16.
 	CheckpointEvery int
+	// DisableCube turns off the data-cube index-tile rewrite: cube-eligible
+	// views stay on the ordinary delta pipeline (and count as fallbacks).
+	// This is the baseline arm of the cube benchmark; leave false for
+	// normal operation.
+	DisableCube bool
 }
 
 // TxnEvent describes how one fed input event advanced the interaction
@@ -96,6 +101,10 @@ type Engine struct {
 // benchmarks read them straight off Stats without importing exec.
 type TopKStats = exec.TopKStats
 
+// CubeStats aliases the executor's data-cube counters (index tiles for
+// O(bins) brush moves) for the same reason.
+type CubeStats = exec.CubeStats
+
 // Stats counts engine work, exposed for benchmarks and the experiment
 // harness. ViewRecomputes counts full (re)materializations; the delta
 // counters cover the incremental path: ViewDeltaApplies is the number of
@@ -126,6 +135,16 @@ type Stats struct {
 	// emitted for maintained top-k prefixes, Evictions the prefix exits of
 	// rows displaced (not deleted) by better-ranked arrivals.
 	TopK TopKStats
+
+	// Cube counts the data-cube subsystem's work (per-chart index tiles):
+	// Builds is tile (re)constructions — brush-begin activations plus full
+	// rebuilds after unknown changes — Hits the selection deltas answered
+	// from tiles instead of re-streaming joined rows, BinsAnswered the
+	// output bins those answers covered, Fallbacks the cube-candidate view
+	// definitions (aggregate over a join) that compiled without a cube path
+	// (non-decomposable aggregate, residual predicate, subquery
+	// parameterization, …). TileBytes is a gauge filled by StatsSnapshot.
+	Cube CubeStats
 
 	// Versioning counts the storage manager's delta-log work (boundaries
 	// sealed, bytes checkpointed, versions reconstructed). The store writes
@@ -216,7 +235,22 @@ func (e *Engine) Store() *Store { return e.store }
 func (e *Engine) StatsSnapshot() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.Stats
+	s := e.Stats
+	s.Cube.TileBytes = e.tileBytesLocked()
+	return s
+}
+
+// tileBytesLocked sums the private cube-tile memory across the engine's
+// bound plans (a gauge; shared tiles are accounted by the server's
+// registry). Caller holds e.mu.
+func (e *Engine) tileBytesLocked() int64 {
+	var b int64
+	for _, v := range e.views {
+		if v.prepared != nil {
+			b += v.prepared.CubeBytes()
+		}
+	}
+	return b
 }
 
 // ResetStats zeroes the engine counters under the engine lock.
@@ -664,9 +698,18 @@ func (e *Engine) preparedFor(v *view) (*exec.Prepared, error) {
 		return nil, err
 	}
 	p = plan.Optimize(p, e.funcs)
-	prep, err := exec.PrepareShared(p, e.funcs, e.shares)
+	prep, err := exec.PrepareWithOptions(p, e.funcs, exec.PrepareOptions{
+		Group:  e.shares,
+		NoCube: e.cfg.DisableCube,
+	})
 	if err != nil {
 		return nil, err
+	}
+	// Cube-candidate shape (aggregate over a join) that compiled without the
+	// tile path: count the fallback once per bind so the cost of brushing
+	// this view O(rows) is visible in stats, not just in a profile.
+	if plan.CubeCandidate(p) && !prep.HasCube() {
+		e.Stats.Cube.Fallbacks++
 	}
 	v.prepared = prep
 	return prep, nil
@@ -734,6 +777,7 @@ func (e *Engine) recomputeView(v *view) (*relation.Delta, error) {
 				if e.cfg.EagerProvenance {
 					v.lin = res.Lin
 				}
+				e.drainCubeStats(prep) // priming can build tiles
 			}
 		}
 	}
@@ -904,7 +948,18 @@ func (e *Engine) tryDelta(v *view, changes map[string]*relation.Delta) (out *rel
 		e.Stats.TopK.PrefixEmits += ts.PrefixEmits
 		e.Stats.TopK.Evictions += ts.Evictions
 	}
+	e.drainCubeStats(prep)
 	return &od, true, nil
+}
+
+// drainCubeStats folds a pipeline's cube counters into the engine stats
+// (Fallbacks and the TileBytes gauge are engine-level, never drained).
+func (e *Engine) drainCubeStats(prep *exec.Prepared) {
+	if cs := prep.TakeCubeStats(); cs != (exec.CubeStats{}) {
+		e.Stats.Cube.Builds += cs.Builds
+		e.Stats.Cube.Hits += cs.Hits
+		e.Stats.Cube.BinsAnswered += cs.BinsAnswered
+	}
 }
 
 // renderIfDirty re-renders only when a sink's contents changed in this

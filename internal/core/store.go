@@ -134,6 +134,16 @@ type Store struct {
 	pendCreatedSet map[string]bool
 	pendResetAll   bool
 
+	// cpLast/cpDirty implement checkpoint sharing: a relation untouched
+	// since the previous checkpoint reuses that checkpoint's captured
+	// snapshot (captures are immutable — reconstruction copies before
+	// applying deltas), so a sparse checkpoint costs O(relations changed
+	// since the last one), not O(database). Without this, the periodic
+	// checkpoint re-copies every row slice — at million-row base tables
+	// that dominates the per-event brush budget the data cubes just freed.
+	cpLast  *checkpoint
+	cpDirty map[string]bool
+
 	cache versionCache
 	stats *VersioningStats
 
@@ -187,6 +197,7 @@ func (s *Store) putQuiet(rel *relation.Relation) {
 // which case the creation is noted in the pending window).
 func (s *Store) install(rel *relation.Relation) bool {
 	k := keyOf(rel.Name)
+	s.markCPDirty(k)
 	if _, ok := s.rels[k]; !ok {
 		s.names = append(s.names, rel.Name)
 		s.rels[k] = rel
@@ -217,10 +228,14 @@ func (s *Store) noteCreated(name string) {
 // delta applies, fallback recompute diffs), which is what lets MarkEvent
 // and Commit seal boundaries in O(delta) instead of O(database).
 func (s *Store) recordChange(name string, d relation.Delta) {
-	if s.pendResetAll || d.Empty() {
+	if d.Empty() {
 		return
 	}
 	k := keyOf(name)
+	s.markCPDirty(k)
+	if s.pendResetAll {
+		return
+	}
 	if s.pendUnknown[k] || s.pendCreatedSet[k] {
 		return // full contents are captured at the boundary anyway
 	}
@@ -238,10 +253,11 @@ func (s *Store) recordChange(name string, d relation.Delta) {
 // recordUnknown marks a relation as changed in an unknown way: the next
 // boundary captures its full contents (a per-relation reset).
 func (s *Store) recordUnknown(name string) {
+	k := keyOf(name)
+	s.markCPDirty(k)
 	if s.pendResetAll {
 		return
 	}
-	k := keyOf(name)
 	if s.pendCreatedSet[k] {
 		return // created this window: contents captured at seal regardless
 	}
@@ -310,9 +326,26 @@ func relBytes(r *relation.Relation) int64 { return int64(64 + 24*len(r.Rows)) }
 func (s *Store) captureCheckpoint() *checkpoint {
 	cp := &checkpoint{rels: make(snapshot, len(s.rels)), names: append([]string(nil), s.names...)}
 	for k, r := range s.rels {
+		if s.cpLast != nil && !s.cpDirty[k] {
+			if prev, ok := s.cpLast.rels[k]; ok {
+				cp.rels[k] = prev // unchanged since last checkpoint: share
+				continue
+			}
+		}
 		cp.rels[k] = s.captureRel(r)
 	}
+	s.cpLast = cp
+	s.cpDirty = nil
 	return cp
+}
+
+// markCPDirty notes that a relation's contents diverged from the last
+// checkpoint's capture (so the next checkpoint must re-copy it).
+func (s *Store) markCPDirty(k string) {
+	if s.cpDirty == nil {
+		s.cpDirty = map[string]bool{}
+	}
+	s.cpDirty[k] = true
 }
 
 // seal closes the pending window into a new version boundary and returns
@@ -464,6 +497,17 @@ func (s *Store) compactWindow(abs int) int {
 			return abs // inconsistent fold: keep the unmerged entries
 		}
 	}
+	// mergeEntry concatenates window deltas without netting them (so the
+	// fold is linear in the window's rows); consolidate each relation once
+	// here. Rows a drag added and removed within the window vanish.
+	for k, d := range merged.deltas {
+		d = d.Consolidate()
+		if d.Empty() {
+			delete(merged.deltas, k)
+		} else {
+			merged.deltas[k] = d
+		}
+	}
 	s.entries = append(s.entries[:i], merged)
 	s.cache.purgeAbove(start - 1)
 	return start
@@ -504,7 +548,22 @@ func mergeEntry(dst, e *logEntry) bool {
 		if dst.deltas == nil {
 			dst.deltas = map[string]relation.Delta{}
 		}
-		dst.deltas[k] = relation.Compose(dst.deltas[k], d)
+		// Concatenate only — netting Ins against Del on every fold would
+		// re-hash the accumulated delta per merged boundary (quadratic in
+		// the window). compactWindow consolidates once after the fold. The
+		// first fold copies so later appends never write into a source
+		// entry's spare capacity.
+		prev, ok := dst.deltas[k]
+		if !ok {
+			prev = relation.Delta{
+				Ins: append(make([]relation.Tuple, 0, len(d.Ins)), d.Ins...),
+				Del: append(make([]relation.Tuple, 0, len(d.Del)), d.Del...),
+			}
+		} else {
+			prev.Ins = append(prev.Ins, d.Ins...)
+			prev.Del = append(prev.Del, d.Del...)
+		}
+		dst.deltas[k] = prev
 	}
 	return true
 }
@@ -787,6 +846,9 @@ func (s *Store) restoreTo(abs int, v relation.VersionRef) error {
 	}
 	s.rels = newRels
 	s.names = names
+	// The whole live state was replaced; nothing may share the previous
+	// checkpoint's captures.
+	s.cpLast, s.cpDirty = nil, nil
 	return nil
 }
 

@@ -1,0 +1,495 @@
+package exec
+
+// Randomized parity for the data-cube subsystem: cube-backed pipelines
+// (dCube replacing dAggregate-over-dJoin) are driven with random fact
+// inserts/deletes, selection churn with duplicate bins, contiguous brush
+// ranges (the prefix-sum path), NULL join keys, and NULL aggregate
+// arguments — and after every event the maintained output must equal a full
+// recomputation (RunPrepared, the stateless arm of the same plan). Values
+// are integers so both paths are bit-exact: float addition order differs
+// between per-bin tiles and row-order recomputation, but integer sums below
+// 2^53 are exact either way.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// cubeCatalog holds a fact relation (binned, grouped, valued) and a small
+// selection relation the brush churns.
+func cubeCatalog() (memCatalog, *relation.Relation, *relation.Relation) {
+	fact := relation.New("Fact", relation.NewSchema(
+		relation.Col("bin", relation.KindInt),
+		relation.Col("grp", relation.KindString),
+		relation.Col("val", relation.KindInt),
+	))
+	sel := relation.New("Sel", relation.NewSchema(
+		relation.Col("bin", relation.KindInt),
+	))
+	return memCatalog{"fact": fact, "sel": sel}, fact, sel
+}
+
+var cubeGrps = []string{"a", "b", "c"}
+
+const cubeBins = 12
+
+// randFactRow draws from tight domains so bin and group collisions are
+// constant; NULL bins (which never join) and NULL values (which aggregates
+// skip) appear regularly.
+func randFactRow(rng *rand.Rand) relation.Tuple {
+	bin := relation.Int(int64(rng.Intn(cubeBins)))
+	if rng.Intn(16) == 0 {
+		bin = relation.Null()
+	}
+	val := relation.Int(int64(rng.Intn(10)))
+	if rng.Intn(16) == 0 {
+		val = relation.Null()
+	}
+	return relation.Tuple{bin, relation.String(cubeGrps[rng.Intn(len(cubeGrps))]), val}
+}
+
+func prepareCube(t *testing.T, cat memCatalog, sql string, wantCube bool) *Prepared {
+	t.Helper()
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	n, err := plan.Build(q, cat)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql, err)
+	}
+	funcs := expr.NewRegistry()
+	n = plan.Optimize(n, funcs)
+	p, err := Prepare(n, funcs)
+	if err != nil {
+		t.Fatalf("prepare %q: %v", sql, err)
+	}
+	if !p.DeltaSafe() {
+		t.Fatalf("%q should be delta-safe, reason: %s", sql, p.DeltaReason())
+	}
+	if p.HasCube() != wantCube {
+		t.Fatalf("%q: HasCube = %t, want %t", sql, p.HasCube(), wantCube)
+	}
+	return p
+}
+
+func TestCubeDeltaParityWithRecompute(t *testing.T) {
+	programs := []struct {
+		name string
+		sql  string
+	}{
+		{"grouped-count-sum-avg", "SELECT f.grp AS grp, count(*) AS n, sum(f.val) AS total, avg(f.val) AS mean FROM Fact AS f, Sel AS s WHERE f.bin = s.bin GROUP BY f.grp"},
+		{"global-no-groupby", "SELECT count(*) AS n, sum(f.val) AS total FROM Fact AS f, Sel AS s WHERE f.bin = s.bin"},
+		{"fact-on-right", "SELECT f.grp AS grp, sum(f.val) AS total FROM Sel AS s, Fact AS f WHERE s.bin = f.bin GROUP BY f.grp"},
+		{"having", "SELECT f.grp AS grp, count(*) AS n FROM Fact AS f, Sel AS s WHERE f.bin = s.bin GROUP BY f.grp HAVING count(*) > 2"},
+		{"expr-arg", "SELECT f.grp AS grp, sum(f.val * 2) AS twice, count(f.val) AS nonnull FROM Fact AS f, Sel AS s WHERE f.bin = s.bin GROUP BY f.grp"},
+	}
+	for _, pr := range programs {
+		t.Run(pr.name, func(t *testing.T) {
+			cat, fact, sel := cubeCatalog()
+			rng := rand.New(rand.NewSource(71))
+			for i := 0; i < 40; i++ {
+				fact.MustAppend(randFactRow(rng))
+			}
+			sel.MustAppend(relation.Tuple{relation.Int(3)})
+			sel.MustAppend(relation.Tuple{relation.Int(4)})
+
+			live := prepareCube(t, cat, pr.sql, true)
+			oracle := prepareCube(t, cat, pr.sql, true) // stateless arm of the same plan
+			ex := New(cat)
+
+			res, err := ex.RunStateful(live)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mat := relation.New("out", res.Rel.Schema)
+			mat.Rows = append([]relation.Tuple(nil), res.Rel.Rows...)
+
+			check := func(step string) {
+				t.Helper()
+				want, err := ex.RunPrepared(oracle)
+				if err != nil {
+					t.Fatalf("%s: oracle: %v", step, err)
+				}
+				if !relation.Equal(mat, want.Rel) {
+					t.Fatalf("%s: cube output diverges from recompute\ngot:    %v\noracle: %v", step, mat.Rows, want.Rel.Rows)
+				}
+			}
+			check("after priming")
+
+			apply := func(step string, df, ds relation.Delta) {
+				t.Helper()
+				if err := fact.ApplyDelta(df); err != nil {
+					t.Fatalf("%s: fact apply: %v", step, err)
+				}
+				if err := sel.ApplyDelta(ds); err != nil {
+					t.Fatalf("%s: sel apply: %v", step, err)
+				}
+				od, err := ex.ApplyDelta(live, map[string]relation.Delta{"fact": df, "sel": ds})
+				if err != nil {
+					t.Fatalf("%s: pipeline: %v", step, err)
+				}
+				if err := mat.ApplyDelta(od); err != nil {
+					t.Fatalf("%s: output delta does not apply: %v", step, err)
+				}
+				check(step)
+			}
+
+			selBins := func() []relation.Tuple {
+				return append([]relation.Tuple(nil), sel.Rows...)
+			}
+
+			for ev := 0; ev < 200; ev++ {
+				step := fmt.Sprintf("event %d", ev)
+				switch op := rng.Intn(12); {
+				case op < 3: // fact insert
+					apply(step, relation.Delta{Ins: []relation.Tuple{randFactRow(rng)}}, relation.Delta{})
+				case op < 5 && len(fact.Rows) > 0: // fact delete
+					row := fact.Rows[rng.Intn(len(fact.Rows))]
+					apply(step, relation.Delta{Del: []relation.Tuple{row}}, relation.Delta{})
+				case op < 7: // selection insert — duplicates allowed (multiplicity > 1)
+					apply(step, relation.Delta{}, relation.Delta{Ins: []relation.Tuple{{relation.Int(int64(rng.Intn(cubeBins)))}}})
+				case op < 8 && len(sel.Rows) > 0: // selection delete
+					row := sel.Rows[rng.Intn(len(sel.Rows))]
+					apply(step, relation.Delta{}, relation.Delta{Del: []relation.Tuple{row}})
+				case op < 10: // brush move: replace the selection with a contiguous range
+					lo := rng.Intn(cubeBins)
+					hi := lo + rng.Intn(cubeBins-lo)
+					var ins []relation.Tuple
+					for b := lo; b <= hi; b++ {
+						ins = append(ins, relation.Tuple{relation.Int(int64(b))})
+					}
+					apply(step+" (brush)", relation.Delta{}, relation.Delta{Del: selBins(), Ins: ins})
+				default: // mixed batch: fact and selection change in one delta
+					var df relation.Delta
+					for j := 0; j < 3; j++ {
+						df.Ins = append(df.Ins, randFactRow(rng))
+					}
+					if len(fact.Rows) > 1 {
+						df.Del = append(df.Del, fact.Rows[0], fact.Rows[len(fact.Rows)-1])
+					}
+					ds := relation.Delta{Ins: []relation.Tuple{{relation.Int(int64(rng.Intn(cubeBins)))}}}
+					apply(step+" (mixed)", df, ds)
+				}
+			}
+
+			// Drain the selection, then the fact side, to empty.
+			apply("drain selection", relation.Delta{}, relation.Delta{Del: selBins()})
+			for len(fact.Rows) > 0 {
+				row := fact.Rows[len(fact.Rows)-1]
+				apply("drain fact", relation.Delta{Del: []relation.Tuple{row}}, relation.Delta{})
+			}
+
+			st := live.TakeCubeStats()
+			if st.Builds == 0 || st.Hits == 0 {
+				t.Fatalf("cube stats not accumulated: %+v", st)
+			}
+			if again := live.TakeCubeStats(); again != (CubeStats{}) {
+				t.Fatalf("TakeCubeStats did not drain: %+v", again)
+			}
+		})
+	}
+}
+
+// TestCubePrefixPath pins the two answer paths: a contiguous multiplicity-1
+// selection goes through the prefix-sum arrays; duplicate bins (multiplicity
+// 2) or a gap force the per-bin scan. Both must agree with recomputation —
+// the randomized wall covers that — so here we assert which path is active.
+func TestCubePrefixPath(t *testing.T) {
+	cat, fact, sel := cubeCatalog()
+	for b := 0; b < 8; b++ {
+		fact.MustAppend(relation.Tuple{relation.Int(int64(b)), relation.String(cubeGrps[b%3]), relation.Int(int64(b * 10))})
+	}
+	sql := "SELECT f.grp AS grp, sum(f.val) AS total FROM Fact AS f, Sel AS s WHERE f.bin = s.bin GROUP BY f.grp"
+	live := prepareCube(t, cat, sql, true)
+	ex := New(cat)
+	if _, err := ex.RunStateful(live); err != nil {
+		t.Fatal(err)
+	}
+	dc := live.cubes[0]
+
+	brush := func(bins ...int64) {
+		t.Helper()
+		var d relation.Delta
+		d.Del = append(d.Del, sel.Rows...)
+		for _, b := range bins {
+			d.Ins = append(d.Ins, relation.Tuple{relation.Int(b)})
+		}
+		if err := sel.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.ApplyDelta(live, map[string]relation.Delta{"sel": d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	brush(2, 3, 4)
+	tiles := dc.curTiles()
+	if !tiles.prefixBuilt {
+		t.Fatal("first brush did not build the prefix arrays")
+	}
+	if ok, lo, hi := dc.selRange(tiles); !ok || hi-lo != 2 {
+		t.Fatalf("contiguous brush not answered by range: ok=%t lo=%d hi=%d", ok, lo, hi)
+	}
+
+	brush(2, 3, 3) // duplicate bin: multiplicity 2
+	if ok, _, _ := dc.selRange(tiles); ok {
+		t.Fatal("duplicate-bin selection must not take the prefix path")
+	}
+
+	brush(1, 5) // gap
+	if ok, _, _ := dc.selRange(tiles); ok {
+		t.Fatal("gapped selection must not take the prefix path")
+	}
+
+	// A fact change dirties the prefix; the next selection change rebuilds.
+	df := relation.Delta{Ins: []relation.Tuple{{relation.Int(6), relation.String("a"), relation.Int(5)}}}
+	if err := fact.ApplyDelta(df); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.ApplyDelta(live, map[string]relation.Delta{"fact": df}); err != nil {
+		t.Fatal(err)
+	}
+	if !tiles.prefixDirty {
+		t.Fatal("fact delta should dirty the prefix arrays")
+	}
+	brush(5, 6)
+	if ok, _, _ := dc.selRange(dc.curTiles()); !ok {
+		t.Fatal("brush after fact change should rebuild the prefix and use it")
+	}
+
+	if live.CubeBytes() == 0 || dc.tileBytes() == 0 {
+		t.Fatal("tile memory accounting reports zero for live tiles")
+	}
+}
+
+// TestCubeIneligibleFallbacks pins the shapes that must NOT take the cube
+// path — they stay on the ordinary delta pipeline and still answer exactly.
+func TestCubeIneligibleFallbacks(t *testing.T) {
+	programs := []struct {
+		name string
+		sql  string
+	}{
+		{"min", "SELECT f.grp AS grp, min(f.val) AS m FROM Fact AS f, Sel AS s WHERE f.bin = s.bin GROUP BY f.grp"},
+		{"max", "SELECT f.grp AS grp, max(f.val) AS m FROM Fact AS f, Sel AS s WHERE f.bin = s.bin GROUP BY f.grp"},
+		{"count-distinct", "SELECT f.grp AS grp, count(DISTINCT f.val) AS m FROM Fact AS f, Sel AS s WHERE f.bin = s.bin GROUP BY f.grp"},
+		{"residual-predicate", "SELECT f.grp AS grp, count(*) AS n FROM Fact AS f, Sel AS s WHERE f.bin = s.bin AND f.val > s.bin GROUP BY f.grp"},
+		{"groups-read-both-sides", "SELECT f.grp AS grp, s.bin AS b, count(*) AS n FROM Fact AS f, Sel AS s WHERE f.bin = s.bin GROUP BY f.grp, s.bin"},
+	}
+	for _, pr := range programs {
+		t.Run(pr.name, func(t *testing.T) {
+			cat, fact, sel := cubeCatalog()
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < 30; i++ {
+				fact.MustAppend(randFactRow(rng))
+			}
+			for b := 2; b <= 6; b++ {
+				sel.MustAppend(relation.Tuple{relation.Int(int64(b))})
+			}
+			live := prepareCube(t, cat, pr.sql, false) // fallback: no cube
+			ex := New(cat)
+			res, err := ex.RunStateful(live)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ex.RunPrepared(prepareCube(t, cat, pr.sql, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !relation.Equal(res.Rel, want.Rel) {
+				t.Fatalf("fallback pipeline diverges from recompute\ngot:    %v\noracle: %v", res.Rel.Rows, want.Rel.Rows)
+			}
+			if st := live.TakeCubeStats(); st != (CubeStats{}) {
+				t.Fatalf("fallback pipeline accumulated cube stats: %+v", st)
+			}
+		})
+	}
+}
+
+// TestCubeSharedTiles exercises the multi-client path: two sessions over the
+// same shared fact relation (but private selections) attach to one tile
+// build; the writer advances the tiles once per base batch; sessions brush
+// independently; release + sweep evicts.
+func TestCubeSharedTiles(t *testing.T) {
+	fact := relation.New("Fact", relation.NewSchema(
+		relation.Col("bin", relation.KindInt),
+		relation.Col("grp", relation.KindString),
+		relation.Col("val", relation.KindInt),
+	))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		fact.MustAppend(randFactRow(rng))
+	}
+	newSel := func() *relation.Relation {
+		return relation.New("Sel", relation.NewSchema(relation.Col("bin", relation.KindInt)))
+	}
+	selA, selB := newSel(), newSel()
+	for b := 1; b <= 4; b++ {
+		selA.MustAppend(relation.Tuple{relation.Int(int64(b))})
+	}
+	selB.MustAppend(relation.Tuple{relation.Int(7)})
+	catA := memCatalog{"fact": fact, "sel": selA}
+	catB := memCatalog{"fact": fact, "sel": selB}
+	g := NewShareGroup(func(name string) bool { return name == "fact" })
+
+	sql := "SELECT f.grp AS grp, count(*) AS n, sum(f.val) AS total FROM Fact AS f, Sel AS s WHERE f.bin = s.bin GROUP BY f.grp"
+	prepShared := func(cat memCatalog) *Prepared {
+		t.Helper()
+		q, err := parser.ParseQuery(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := plan.Build(q, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		funcs := expr.NewRegistry()
+		n = plan.Optimize(n, funcs)
+		p, err := PrepareShared(n, funcs, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.HasCube() || !p.SharesState() {
+			t.Fatalf("shared pipeline: HasCube=%t SharesState=%t", p.HasCube(), p.SharesState())
+		}
+		return p
+	}
+	pA, pB := prepShared(catA), prepShared(catB)
+	exA, exB := New(catA), New(catB)
+	oracleA, oracleB := prepareCube(t, catA, sql, true), prepareCube(t, catB, sql, true)
+
+	run := func(ex *Executor, p *Prepared) *relation.Relation {
+		t.Helper()
+		res, err := ex.RunStateful(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := relation.New("out", res.Rel.Schema)
+		out.Rows = append([]relation.Tuple(nil), res.Rel.Rows...)
+		return out
+	}
+	matA, matB := run(exA, pA), run(exB, pB)
+
+	if st := g.Stats(); st.Builds != 1 || st.Reuses != 1 {
+		t.Fatalf("tile sharing: Builds=%d Reuses=%d, want one build + one reuse", st.Builds, st.Reuses)
+	}
+	if g.Sides() != 1 {
+		t.Fatalf("Sides() = %d, want 1 shared cube entry", g.Sides())
+	}
+	if g.SharedRows() == 0 || g.ApproxBytes() == 0 {
+		t.Fatalf("shared accounting empty: rows=%d bytes=%d", g.SharedRows(), g.ApproxBytes())
+	}
+	if pA.CubeBytes() != 0 {
+		t.Fatalf("shared tiles must not count as private memory, got %d bytes", pA.CubeBytes())
+	}
+
+	check := func(step string, ex *Executor, oracle *Prepared, mat *relation.Relation) {
+		t.Helper()
+		want, err := ex.RunPrepared(oracle)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", step, err)
+		}
+		if !relation.Equal(mat, want.Rel) {
+			t.Fatalf("%s: diverges from recompute\ngot:    %v\noracle: %v", step, mat.Rows, want.Rel.Rows)
+		}
+	}
+	check("prime A", exA, oracleA, matA)
+	check("prime B", exB, oracleB, matB)
+
+	// Writer advance: base-data batch applied to the shared tiles once, then
+	// fanned out to both sessions.
+	for round := 0; round < 5; round++ {
+		var df relation.Delta
+		for j := 0; j < 4; j++ {
+			df.Ins = append(df.Ins, randFactRow(rng))
+		}
+		if len(fact.Rows) > 2 {
+			df.Del = append(df.Del, fact.Rows[0], fact.Rows[len(fact.Rows)/2])
+		}
+		if err := fact.ApplyDelta(df); err != nil {
+			t.Fatal(err)
+		}
+		wex := New(memCatalog{"fact": fact})
+		if err := g.Advance(wex, map[string]relation.Delta{"fact": df}, nil); err != nil {
+			t.Fatalf("advance: %v", err)
+		}
+		for _, s := range []struct {
+			ex     *Executor
+			p, o   *Prepared
+			mat    *relation.Relation
+			label  string
+		}{{exA, pA, oracleA, matA, "A"}, {exB, pB, oracleB, matB, "B"}} {
+			od, err := s.ex.ApplyDelta(s.p, map[string]relation.Delta{"fact": df})
+			if err != nil {
+				t.Fatalf("session %s fan-out: %v", s.label, err)
+			}
+			if err := s.mat.ApplyDelta(od); err != nil {
+				t.Fatalf("session %s output delta: %v", s.label, err)
+			}
+			check(fmt.Sprintf("advance %d session %s", round, s.label), s.ex, s.o, s.mat)
+		}
+		g.EndAdvance()
+	}
+
+	// Private brushes: each session churns its own selection; the shared
+	// tiles are only read.
+	for ev := 0; ev < 30; ev++ {
+		brush := func(sel *relation.Relation, ex *Executor, p, o *Prepared, mat *relation.Relation, label string) {
+			t.Helper()
+			lo := rng.Intn(cubeBins)
+			hi := lo + rng.Intn(cubeBins-lo)
+			var d relation.Delta
+			d.Del = append(d.Del, sel.Rows...)
+			for b := lo; b <= hi; b++ {
+				d.Ins = append(d.Ins, relation.Tuple{relation.Int(int64(b))})
+			}
+			if err := sel.ApplyDelta(d); err != nil {
+				t.Fatal(err)
+			}
+			od, err := ex.ApplyDelta(p, map[string]relation.Delta{"sel": d})
+			if err != nil {
+				t.Fatalf("session %s brush: %v", label, err)
+			}
+			if err := mat.ApplyDelta(od); err != nil {
+				t.Fatalf("session %s output delta: %v", label, err)
+			}
+			check(fmt.Sprintf("brush %d session %s", ev, label), ex, o, mat)
+		}
+		brush(selA, exA, pA, oracleA, matA, "A")
+		brush(selB, exB, pB, oracleB, matB, "B")
+	}
+	if st := pA.TakeCubeStats(); st.Hits == 0 {
+		t.Fatalf("session A brushed %d times but recorded no cube hits", 30)
+	}
+
+	// Unknown base change: the writer rebuilds the tiles wholesale and
+	// sessions re-prime (the server hands them a forced recompute).
+	fact.Rows = fact.Rows[:len(fact.Rows)-3]
+	wex := New(memCatalog{"fact": fact})
+	if err := g.Advance(wex, nil, map[string]bool{"fact": true}); err != nil {
+		t.Fatalf("rebuild advance: %v", err)
+	}
+	g.EndAdvance()
+	if st := g.Stats(); st.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", st.Rebuilds)
+	}
+	matA, matB = run(exA, pA), run(exB, pB)
+	check("after rebuild A", exA, oracleA, matA)
+	check("after rebuild B", exB, oracleB, matB)
+
+	// Detach both sessions; the tile store is swept away.
+	pA.ReleaseShared()
+	pB.ReleaseShared()
+	if n := g.Sweep(); n != 1 {
+		t.Fatalf("Sweep() = %d, want 1 evicted cube entry", n)
+	}
+	if g.Sides() != 0 {
+		t.Fatalf("Sides() = %d after sweep, want 0", g.Sides())
+	}
+}

@@ -43,9 +43,12 @@ type dnode interface {
 // reads only shared relations for state sharing, collecting those joins so
 // the Prepared can release its references on close.
 type deltaBuilder struct {
-	sorts  []*dSort
-	group  *ShareGroup
-	shared []*dJoin
+	sorts       []*dSort
+	group       *ShareGroup
+	shared      []*dJoin
+	cubes       []*dCube // all cube operators, for stats/bytes
+	sharedCubes []*dCube // the subset attached to the group registry
+	noCube      bool     // skip the index-tile rewrite (benchmark baseline)
 }
 
 // build returns false for shapes without a delta rule; callers gate on
@@ -90,6 +93,12 @@ func (db *deltaBuilder) build(b bnode) (dnode, bool) {
 	case *bAggregate:
 		if t.static == nil {
 			return nil, false
+		}
+		// Cube-eligible aggregates over pure equi-joins compile to index
+		// tiles (O(bins) per selection change) instead of the join+aggregate
+		// pair; every other shape keeps the ordinary operators.
+		if dc, ok := db.buildCube(t); ok {
+			return dc, true
 		}
 		child, ok := db.build(t.child)
 		if !ok {
@@ -179,6 +188,18 @@ func (db *deltaBuilder) clearSharedMarks(d dnode) {
 		db.clearSharedMarks(t.r)
 	case *dAggregate:
 		db.clearSharedMarks(t.child)
+	case *dCube:
+		if t.fp != "" {
+			t.group, t.fp, t.reads = nil, "", nil
+			for i, dc := range db.sharedCubes {
+				if dc == t {
+					db.sharedCubes = append(db.sharedCubes[:i], db.sharedCubes[i+1:]...)
+					break
+				}
+			}
+		}
+		db.clearSharedMarks(t.fact)
+		db.clearSharedMarks(t.sel)
 	case *dDistinct:
 		db.clearSharedMarks(t.child)
 	case *dSetOp:
@@ -240,7 +261,7 @@ func (ex *Executor) RunStateful(p *Prepared) (*Result, error) {
 	if p.droot == nil {
 		return nil, fmt.Errorf("exec: plan is not incrementalizable (%s)", p.deltaReason)
 	}
-	if len(p.sharedJoins) > 0 {
+	if len(p.sharedJoins) > 0 || len(p.sharedCubes) > 0 {
 		// Priming may build and publish shared states; exclude both the
 		// writer and other sessions' probes for the duration.
 		p.group.mu.Lock()
@@ -270,7 +291,7 @@ func (ex *Executor) ApplyDelta(p *Prepared, in map[string]relation.Delta) (relat
 	if !p.primed {
 		return relation.Delta{}, fmt.Errorf("exec: delta pipeline is not primed; call RunStateful first")
 	}
-	if len(p.sharedJoins) > 0 {
+	if len(p.sharedJoins) > 0 || len(p.sharedCubes) > 0 {
 		// Sessions only probe shared states (their private deltas cannot
 		// touch shared inputs, and base-delta fan-outs consume the writer's
 		// cached subtree deltas), so concurrent readers are safe.

@@ -34,13 +34,19 @@ type Prepared struct {
 	dsorts  []*dSort // order-statistic operators inside droot, in build order
 	ordRoot *dSort   // droot itself when the plan's root is ORDER BY [LIMIT]
 
-	// group/sharedJoins carry the multi-client state-sharing attachment:
-	// joins inside droot whose build side lives in the group registry
-	// (PrepareShared). RunStateful/ApplyDelta take the group lock around
-	// pipeline work when sharedJoins is non-empty; ReleaseShared drops the
-	// refcounted attachments when the owning session detaches.
+	// group/sharedJoins/sharedCubes carry the multi-client state-sharing
+	// attachment: joins (and cube tile stores) inside droot whose shared
+	// state lives in the group registry (PrepareShared). RunStateful/
+	// ApplyDelta take the group lock around pipeline work when either list
+	// is non-empty; ReleaseShared drops the refcounted attachments when the
+	// owning session detaches.
 	group       *ShareGroup
 	sharedJoins []*dJoin
+	sharedCubes []*dCube
+
+	// cubes lists every data-cube operator in droot (shared or private), for
+	// stats draining and tile-memory accounting.
+	cubes []*dCube
 }
 
 // Plan returns the underlying logical plan (EXPLAIN-style output).
@@ -84,6 +90,22 @@ func Prepare(n plan.Node, funcs *expr.Registry) (*Prepared, error) {
 // shared relations attach to the group's refcounted state registry instead
 // of indexing their own copy. A nil group is plain single-tenant Prepare.
 func PrepareShared(n plan.Node, funcs *expr.Registry, group *ShareGroup) (*Prepared, error) {
+	return PrepareWithOptions(n, funcs, PrepareOptions{Group: group})
+}
+
+// PrepareOptions tunes delta-pipeline construction.
+type PrepareOptions struct {
+	// Group attaches eligible shared state to this registry (PrepareShared).
+	Group *ShareGroup
+	// NoCube skips the data-cube index-tile rewrite, leaving eligible
+	// aggregates on the ordinary dAggregate/dJoin pipeline. Benchmarks use it
+	// as the pre-cube baseline arm; normal operation leaves it false.
+	NoCube bool
+}
+
+// PrepareWithOptions is PrepareShared with explicit construction options.
+func PrepareWithOptions(n plan.Node, funcs *expr.Registry, opts PrepareOptions) (*Prepared, error) {
+	group := opts.Group
 	root, err := prep(n, funcs)
 	if err != nil {
 		return nil, err
@@ -93,12 +115,14 @@ func PrepareShared(n plan.Node, funcs *expr.Registry, group *ShareGroup) (*Prepa
 		p.deltaReason = why
 		return p, nil
 	}
-	db := &deltaBuilder{group: group}
+	db := &deltaBuilder{group: group, noCube: opts.NoCube}
 	if droot, ok := db.build(root); ok {
 		p.droot = droot
 		p.dsorts = db.sorts
 		p.group = group
 		p.sharedJoins = db.shared
+		p.sharedCubes = db.sharedCubes
+		p.cubes = db.cubes
 		if ds, ok := droot.(*dSort); ok {
 			p.ordRoot = ds
 		}
@@ -109,8 +133,11 @@ func PrepareShared(n plan.Node, funcs *expr.Registry, group *ShareGroup) (*Prepa
 }
 
 // SharesState reports whether the delta pipeline attaches to shared
-// build-side states (only possible for PrepareShared pipelines).
-func (p *Prepared) SharesState() bool { return len(p.sharedJoins) > 0 }
+// build-side or cube-tile states (only possible for PrepareShared
+// pipelines).
+func (p *Prepared) SharesState() bool {
+	return len(p.sharedJoins) > 0 || len(p.sharedCubes) > 0
+}
 
 // ReleaseShared drops the pipeline's refcounted shared-state attachments;
 // states whose last pipeline released are evicted from the group. Call when
@@ -123,6 +150,37 @@ func (p *Prepared) ReleaseShared() {
 	for _, dj := range p.sharedJoins {
 		dj.releaseShared(p.group)
 	}
+	for _, dc := range p.sharedCubes {
+		dc.releaseShared(p.group)
+	}
+}
+
+// HasCube reports whether the delta pipeline answers some aggregate through
+// data-cube index tiles.
+func (p *Prepared) HasCube() bool { return len(p.cubes) > 0 }
+
+// CubeBytes reports the private tile memory held by the pipeline's cube
+// operators (shared tiles are accounted by the group's ApproxBytes).
+func (p *Prepared) CubeBytes() int64 {
+	var b int64
+	for _, dc := range p.cubes {
+		b += dc.tileBytes()
+	}
+	return b
+}
+
+// TakeCubeStats drains the cube counters accumulated since the last call
+// (Builds, Hits, BinsAnswered). Fallbacks and the TileBytes gauge are
+// engine-level and stay zero here.
+func (p *Prepared) TakeCubeStats() CubeStats {
+	var out CubeStats
+	for _, dc := range p.cubes {
+		out.Builds += dc.stats.Builds
+		out.Hits += dc.stats.Hits
+		out.BinsAnswered += dc.stats.BinsAnswered
+		dc.stats.Builds, dc.stats.Hits, dc.stats.BinsAnswered = 0, 0, 0
+	}
+	return out
 }
 
 // Ordered reports whether the delta pipeline's root is an ORDER BY (with or

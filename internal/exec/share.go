@@ -62,11 +62,14 @@ type ShareStats struct {
 }
 
 // ShareGroup is the registry of operator states shared across the prepared
-// pipelines of one server. The zero value is not usable; use NewShareGroup.
+// pipelines of one server. It holds two kinds of entries: join build sides
+// (sharedSide) and data-cube index tiles (sharedCube). The zero value is not
+// usable; use NewShareGroup.
 type ShareGroup struct {
 	mu     sync.RWMutex
 	shared func(name string) bool // which (lowercase) relation names are shared
 	sides  map[string]*sharedSide
+	cubes  map[string]*sharedCube
 	stats  ShareStats
 }
 
@@ -74,7 +77,11 @@ type ShareGroup struct {
 // (lowercase) is part of the shared base database — only subtrees reading
 // exclusively shared relations are eligible for state sharing.
 func NewShareGroup(shared func(name string) bool) *ShareGroup {
-	return &ShareGroup{shared: shared, sides: make(map[string]*sharedSide)}
+	return &ShareGroup{
+		shared: shared,
+		sides:  make(map[string]*sharedSide),
+		cubes:  make(map[string]*sharedCube),
+	}
 }
 
 // IsShared reports whether the relation name belongs to the shared base.
@@ -89,21 +96,27 @@ func (g *ShareGroup) Stats() ShareStats {
 	return g.stats
 }
 
-// Sides reports the number of distinct shared states currently registered.
+// Sides reports the number of distinct shared states currently registered
+// (join build sides plus cube tile stores).
 func (g *ShareGroup) Sides() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return len(g.sides)
+	return len(g.sides) + len(g.cubes)
 }
 
-// SharedRows reports the total rows currently held across shared states —
-// the data-sized memory the sessions are amortizing.
+// SharedRows reports the total rows currently held or summarized across
+// shared states — the data-sized memory (or data-sized work, for tiles,
+// which summarize their fact rows instead of retaining them) the sessions
+// are amortizing.
 func (g *ShareGroup) SharedRows() int64 {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	var n int64
 	for _, sd := range g.sides {
 		n += int64(len(sd.ordered))
+	}
+	for _, sc := range g.cubes {
+		n += sc.factRows
 	}
 	return n
 }
@@ -122,6 +135,9 @@ func (g *ShareGroup) ApproxBytes() int64 {
 		if sd.state != nil && sd.state.keyed {
 			b += int64(len(sd.state.keys)) * 64
 		}
+	}
+	for _, sc := range g.cubes {
+		b += sc.tiles.approxBytes()
 	}
 	return b
 }
@@ -191,6 +207,13 @@ func (g *ShareGroup) Sweep() int {
 	for fp, sd := range g.sides {
 		if sd.refs <= 0 {
 			delete(g.sides, fp)
+			g.stats.Evictions++
+			n++
+		}
+	}
+	for fp, sc := range g.cubes {
+		if sc.refs <= 0 {
+			delete(g.cubes, fp)
 			g.stats.Evictions++
 			n++
 		}
@@ -339,6 +362,26 @@ func (g *ShareGroup) Advance(ex *Executor, in map[string]relation.Delta, unknown
 			sd.cur, sd.curSet = relation.Delta{}, false
 		}
 	}
+	for _, sc := range g.cubes {
+		if !sc.built {
+			continue
+		}
+		if readsAny(sc.reads, unknown) {
+			if err := sc.build(ex); err != nil {
+				return fmt.Errorf("shared cube %s: rebuild: %w", sc.fp, err)
+			}
+			g.stats.Rebuilds++
+			sc.cur, sc.curSet = relation.Delta{}, false
+			continue
+		}
+		if err := sc.advance(ex, in); err != nil {
+			if rerr := sc.build(ex); rerr != nil {
+				return fmt.Errorf("shared cube %s: %v; rebuild: %w", sc.fp, err, rerr)
+			}
+			g.stats.Rebuilds++
+			sc.cur, sc.curSet = relation.Delta{}, false
+		}
+	}
 	return nil
 }
 
@@ -349,6 +392,115 @@ func (g *ShareGroup) EndAdvance() {
 	for _, sd := range g.sides {
 		sd.cur, sd.curSet = relation.Delta{}, false
 	}
+	for _, sc := range g.cubes {
+		sc.cur, sc.curSet = relation.Delta{}, false
+	}
+}
+
+// --- shared cubes ---
+
+// sharedCube is one shared data-cube tile store (see cube.go): the cells
+// summarizing the fact subtree by (bin, group), the canonical subtree that
+// feeds them (donated by the pipeline that built them, driven only by the
+// writer afterwards), and the compiled shape needed to maintain them. All
+// fields are guarded by the group lock; tiles are replaced wholesale on
+// rebuild, so readers must fetch them through the entry on every use.
+type sharedCube struct {
+	fp    string
+	reads []string // lowercase relation names the fact subtree scans
+	refs  int
+	built bool
+
+	sub      dnode // canonical fact subtree; only the writer drives it after build
+	shape    cubeShape
+	global   bool // the view is a global aggregate (no GROUP BY)
+	tiles    *cubeTiles
+	factRows int64 // fact rows currently summarized by the tiles
+
+	// cur is the fact subtree's output delta for the in-flight Advance
+	// batch; sessions fold it into their private totals instead of deriving
+	// (and wrongly re-applying) it themselves.
+	cur    relation.Delta
+	curSet bool
+}
+
+// currentDelta returns the fact subtree's output delta of the in-flight
+// base-data batch (zero outside an Advance window). Callers hold the group
+// read lock.
+func (sc *sharedCube) currentDelta() relation.Delta {
+	if !sc.curSet {
+		return relation.Delta{}
+	}
+	return sc.cur
+}
+
+// lookupCube returns the cube registered under fp, creating an empty entry
+// on first use. Caller holds the group write lock.
+func (g *ShareGroup) lookupCube(fp string, reads []string) *sharedCube {
+	sc, ok := g.cubes[fp]
+	if !ok {
+		sc = &sharedCube{fp: fp, reads: reads}
+		g.cubes[fp] = sc
+	}
+	return sc
+}
+
+// releaseCube drops one pipeline's reference; Sweep reclaims unreferenced
+// entries (same lifecycle as join sides).
+func (g *ShareGroup) releaseCube(sc *sharedCube) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sc.refs--
+}
+
+// build evaluates the canonical fact subtree and publishes fresh tiles, with
+// prefix arrays ready (sessions cannot build them under the read lock).
+// Caller holds the group write lock.
+func (sc *sharedCube) build(ex *Executor) error {
+	sc.sub.reset()
+	rows, err := sc.sub.init(ex)
+	if err != nil {
+		return err
+	}
+	tiles := newCubeTiles(len(sc.shape.prog.specs), sc.global)
+	if err := tiles.addRows(&sc.shape, rows); err != nil {
+		return err
+	}
+	tiles.ensurePrefix()
+	sc.tiles = tiles
+	sc.factRows = int64(len(rows))
+	sc.built = true
+	return nil
+}
+
+// advance applies one base-delta batch to the shared tiles and caches the
+// fact subtree's output delta for the sessions. The prefix arrays are
+// rebuilt eagerly here, under the write lock, so sessions keep the O(1)
+// answer path without ever mutating shared state. Caller holds the group
+// write lock.
+func (sc *sharedCube) advance(ex *Executor, in map[string]relation.Delta) error {
+	din, err := sc.sub.delta(ex, in)
+	if err != nil {
+		return err
+	}
+	env := &expr.Env{}
+	binKey := make(relation.Tuple, len(sc.shape.factKeys))
+	scratch := sc.shape.newScratch()
+	for _, row := range din.Ins {
+		if _, _, err := sc.tiles.applyFactRow(&sc.shape, env, binKey, scratch, row, +1); err != nil {
+			return err
+		}
+	}
+	for _, row := range din.Del {
+		if _, _, err := sc.tiles.applyFactRow(&sc.shape, env, binKey, scratch, row, -1); err != nil {
+			return err
+		}
+	}
+	sc.factRows += int64(len(din.Ins) - len(din.Del))
+	sc.tiles.ensurePrefix()
+	sc.tiles.takeBuilds() // writer-side maintenance, not a session's build
+	sc.cur, sc.curSet = din, true
+	return nil
 }
 
 func readsAny(reads []string, set map[string]bool) bool {

@@ -484,9 +484,14 @@ type InSource interface{ inSource() }
 
 // Subquery wraps a parsed query used as an IN source or a scalar expression.
 // Query is `any` to avoid a dependency cycle with the parser; the executor
-// type-asserts it.
+// type-asserts it. Prep caches the executor's compiled form of Query
+// (also `any` for the same cycle reason): subquery-parameterized views
+// re-resolve on every run, and without the cache each run re-plans and
+// re-compiles the subquery from scratch. The cache lives and dies with the
+// expression tree — plan invalidation drops the tree and the cache with it.
 type Subquery struct {
 	Query any
+	Prep  any
 }
 
 func (*Subquery) inSource() {}

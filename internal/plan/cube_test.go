@@ -1,0 +1,160 @@
+package plan
+
+// Cube eligibility analysis: CubeCandidate must spot the Aggregate-over-Join
+// shape anywhere in a plan, and CubeEligibility must accept exactly the
+// decomposable shapes (COUNT/SUM/AVG over a pure equi-join with one-sided
+// grouping) and name the first blocker for everything else.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// optAgg builds, optimizes (pushing the WHERE equi-join into the Join node,
+// as the executor sees it), and returns the plan plus its Aggregate.
+func optAgg(t *testing.T, sql string) (Node, *Aggregate) {
+	t.Helper()
+	p := build(t, sql)
+	p = Optimize(p, expr.NewRegistry())
+	return p, findAgg(p)
+}
+
+func findAgg(n Node) *Aggregate {
+	switch t := n.(type) {
+	case *Aggregate:
+		return t
+	case *Project:
+		return findAgg(t.Child)
+	case *aliasProject:
+		return findAgg(t.Child)
+	case *Filter:
+		return findAgg(t.Child)
+	case *Sort:
+		return findAgg(t.Child)
+	case *Limit:
+		return findAgg(t.Child)
+	case *Distinct:
+		return findAgg(t.Child)
+	default:
+		return nil
+	}
+}
+
+func TestCubeCandidate(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want bool
+	}{
+		{"SELECT b.k AS k, count(*) AS n FROM Big AS b, Small AS s WHERE b.k = s.k GROUP BY b.k", true},
+		// The shape counts even under ORDER BY / LIMIT decoration.
+		{"SELECT b.k AS k, count(*) AS n FROM Big AS b, Small AS s WHERE b.k = s.k GROUP BY b.k ORDER BY n DESC LIMIT 3", true},
+		// Aggregate without a join underneath is not a candidate.
+		{"SELECT k, count(*) AS n FROM Big GROUP BY k", false},
+		// No aggregate at all.
+		{"SELECT b.id FROM Big AS b, Small AS s WHERE b.k = s.k", false},
+	}
+	for _, c := range cases {
+		p, _ := optAgg(t, c.sql)
+		if got := CubeCandidate(p); got != c.want {
+			t.Errorf("CubeCandidate(%q) = %t, want %t", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestCubeEligibility(t *testing.T) {
+	cases := []struct {
+		name    string
+		sql     string
+		ok      bool
+		factCol string // qualified column the fact side must carry when ok
+		reason  string // substring of the blocking reason when !ok
+	}{
+		{
+			name:    "fact-is-big",
+			sql:     "SELECT b.k AS k, count(*) AS n, sum(b.id) AS total, avg(b.id) AS mean FROM Big AS b, Small AS s WHERE b.k = s.k GROUP BY b.k",
+			ok:      true,
+			factCol: "b.id",
+		},
+		{
+			name:    "fact-is-small",
+			sql:     "SELECT s.name AS name, count(*) AS n FROM Big AS b, Small AS s WHERE b.k = s.k GROUP BY s.name",
+			ok:      true,
+			factCol: "s.name",
+		},
+		{
+			name:    "global-aggregate",
+			sql:     "SELECT count(*) AS n, sum(b.id) AS total FROM Big AS b, Small AS s WHERE b.k = s.k",
+			ok:      true,
+			factCol: "b.id",
+		},
+		{
+			name:   "not-a-join",
+			sql:    "SELECT k, count(*) AS n FROM Big GROUP BY k",
+			reason: "not a join",
+		},
+		{
+			name:   "no-equi-key",
+			sql:    "SELECT b.k AS k, count(*) AS n FROM Big AS b, Small AS s WHERE b.k < s.k GROUP BY b.k",
+			reason: "no equi-join key",
+		},
+		{
+			name:   "residual-predicate",
+			sql:    "SELECT b.k AS k, count(*) AS n FROM Big AS b, Small AS s WHERE b.k = s.k AND b.id > s.k GROUP BY b.k",
+			reason: "not a pure equi-join",
+		},
+		{
+			name:   "min-not-decomposable",
+			sql:    "SELECT b.k AS k, min(b.id) AS m FROM Big AS b, Small AS s WHERE b.k = s.k GROUP BY b.k",
+			reason: "not decomposable",
+		},
+		{
+			name:   "distinct-not-decomposable",
+			sql:    "SELECT b.k AS k, count(DISTINCT b.id) AS m FROM Big AS b, Small AS s WHERE b.k = s.k GROUP BY b.k",
+			reason: "DISTINCT",
+		},
+		{
+			name:   "groups-read-both-sides",
+			sql:    "SELECT b.k AS k, s.name AS name, count(*) AS n FROM Big AS b, Small AS s WHERE b.k = s.k GROUP BY b.k, s.name",
+			reason: "both join sides",
+		},
+		{
+			name:   "subquery-parameterized",
+			sql:    "SELECT b.k AS k, count(*) + (SELECT count(*) FROM Small) AS n FROM Big AS b, Small AS s WHERE b.k = s.k GROUP BY b.k",
+			reason: "per-run resolution",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, a := optAgg(t, c.sql)
+			if a == nil {
+				t.Fatalf("no Aggregate node in optimized plan for %q", c.sql)
+			}
+			info := CubeEligibility(a)
+			if info.OK != c.ok {
+				t.Fatalf("OK = %t, want %t (reason %q)", info.OK, c.ok, info.Reason)
+			}
+			if c.ok {
+				// The optimizer may reorder the join, so FactLeft is checked
+				// against which side actually carries the fact columns.
+				j, isJoin := a.Child.(*Join)
+				if !isJoin {
+					t.Fatalf("eligible aggregate's child is %T, not a join", a.Child)
+				}
+				side := j.R
+				if info.FactLeft {
+					side = j.L
+				}
+				parts := strings.SplitN(c.factCol, ".", 2)
+				if _, err := side.Schema().IndexErr(parts[0], parts[1]); err != nil {
+					t.Fatalf("fact side (FactLeft=%t) does not carry %s: %v", info.FactLeft, c.factCol, err)
+				}
+				return
+			}
+			if !strings.Contains(info.Reason, c.reason) {
+				t.Fatalf("reason %q does not mention %q", info.Reason, c.reason)
+			}
+		})
+	}
+}

@@ -81,11 +81,17 @@ func NewImage(w, h int) *Image {
 	return img
 }
 
-// Clear resets the image to opaque white.
+// Clear resets the image to opaque white. Seed a short prefix, then double
+// it with copy — memmove-speed instead of a per-pixel store loop (Clear runs
+// on every render pass, so it is on the per-event path).
 func (im *Image) Clear() {
+	if len(im.Pix) == 0 {
+		return
+	}
 	white := RGBA{255, 255, 255, 255}
-	for i := range im.Pix {
-		im.Pix[i] = white
+	im.Pix[0] = white
+	for n := 1; n < len(im.Pix); n *= 2 {
+		copy(im.Pix[n:], im.Pix[:n])
 	}
 }
 
@@ -155,13 +161,46 @@ func (im *Image) StrokeCircle(cx, cy, r float64, stroke RGBA) {
 	}
 }
 
-// FillRect rasterizes a filled axis-aligned rectangle.
+// FillRect rasterizes a filled axis-aligned rectangle. The extent is
+// clipped to the viewport before iterating — data-driven marks (e.g. bars
+// whose height tracks an aggregate) can dwarf the framebuffer, and the
+// off-screen pixels Blend would reject one by one must not cost per-pixel
+// work. Opaque fills write rows directly (same pixels Blend would produce).
 func (im *Image) FillRect(x, y, w, h float64, fill RGBA) {
 	if fill.A == 0 || w <= 0 || h <= 0 {
 		return
 	}
-	for yy := int(math.Floor(y)); yy < int(math.Ceil(y+h)); yy++ {
-		for xx := int(math.Floor(x)); xx < int(math.Ceil(x+w)); xx++ {
+	x0, x1 := int(math.Floor(x)), int(math.Ceil(x+w))
+	y0, y1 := int(math.Floor(y)), int(math.Ceil(y+h))
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > im.W {
+		x1 = im.W
+	}
+	if y1 > im.H {
+		y1 = im.H
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return
+	}
+	if fill.A == 255 {
+		// Solid fill: write the first row pixel by pixel, then replicate it
+		// into the remaining rows with copy.
+		first := im.Pix[y0*im.W+x0 : y0*im.W+x1]
+		for i := range first {
+			first[i] = fill
+		}
+		for yy := y0 + 1; yy < y1; yy++ {
+			copy(im.Pix[yy*im.W+x0:yy*im.W+x1], first)
+		}
+		return
+	}
+	for yy := y0; yy < y1; yy++ {
+		for xx := x0; xx < x1; xx++ {
 			im.Blend(xx, yy, fill)
 		}
 	}
