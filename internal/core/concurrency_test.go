@@ -92,11 +92,12 @@ func TestStatsSnapshotRace(t *testing.T) {
 	}
 }
 
-// TestBareLimitWarnsAndFallsBack pins the bare-LIMIT contract: the view is
-// rejected by delta-safety analysis (its prefix depends on arbitrary row
-// order), a one-time warning explains the permanent fallback at definition
-// time, and every change recomputes the view fully — with exact contents.
-func TestBareLimitWarnsAndFallsBack(t *testing.T) {
+// TestBareLimitIncremental pins the bare-LIMIT contract: the view is
+// delta-safe (its prefix is pinned to the deterministic full-tuple order),
+// definition emits no warning, changes propagate without full-recompute
+// fallbacks, and the contents are exactly the first k rows of the sorted
+// bag at every step.
+func TestBareLimitIncremental(t *testing.T) {
 	e := New(Config{})
 	if err := e.LoadProgram(`
 CREATE TABLE T (x int);
@@ -105,53 +106,42 @@ HEAD = SELECT x FROM T LIMIT 2;
 `); err != nil {
 		t.Fatal(err)
 	}
-	var warned []string
 	for _, w := range e.Warnings() {
-		if strings.Contains(w, "LIMIT without ORDER BY") {
-			warned = append(warned, w)
+		if strings.Contains(w, "LIMIT") {
+			t.Fatalf("bare LIMIT should not warn anymore: %q", w)
 		}
 	}
-	if len(warned) != 1 {
-		t.Fatalf("want exactly one bare-LIMIT warning, got %d: %v", len(warned), e.Warnings())
-	}
-	if !strings.Contains(warned[0], "HEAD") || !strings.Contains(warned[0], "ORDER BY") {
-		t.Fatalf("warning should name the view and the remedy: %q", warned[0])
-	}
-
-	// An ordered LIMIT must NOT warn (it has an exact incremental rule).
-	if err := e.Exec(`TOP = SELECT x FROM T ORDER BY x LIMIT 2;`); err != nil {
-		t.Fatal(err)
-	}
-	for _, w := range e.Warnings() {
-		if strings.Contains(w, "TOP") {
-			t.Fatalf("ordered LIMIT should not warn: %q", w)
+	wantHead := func(want ...int64) {
+		t.Helper()
+		head, err := e.Relation("HEAD")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(head.Rows) != len(want) {
+			t.Fatalf("HEAD has %d rows, want %d", len(head.Rows), len(want))
+		}
+		for i, w := range want {
+			got, _ := head.Rows[i][0].AsInt()
+			if got != w {
+				t.Fatalf("HEAD row %d = %d, want %d (full: %v)", i, got, w, head.Rows)
+			}
 		}
 	}
+	wantHead(1, 2) // first 2 of sorted bag {1,2,3}
 
-	// Changes route through the full-recompute fallback, and the contents
-	// stay exact (first 2 rows of T in physical order).
+	// Changes propagate incrementally: no full-recompute fallback, and the
+	// prefix tracks the sorted bag exactly.
 	before := e.StatsSnapshot().FullFallbacks
-	if err := e.InsertRows("T", []relation.Tuple{{relation.Int(9)}}); err != nil {
+	if err := e.InsertRows("T", []relation.Tuple{{relation.Int(0)}}); err != nil {
 		t.Fatal(err)
 	}
-	if got := e.StatsSnapshot().FullFallbacks; got <= before {
-		t.Fatalf("bare LIMIT should fall back on change: fallbacks %d -> %d", before, got)
+	if got := e.StatsSnapshot().FullFallbacks; got != before {
+		t.Fatalf("bare LIMIT should apply deltas: fallbacks %d -> %d", before, got)
 	}
-	head, err := e.Relation("HEAD")
-	if err != nil {
+	wantHead(0, 1) // sorted bag {0,1,2,3}
+
+	if err := e.Exec("DELETE FROM T WHERE x = 1"); err != nil {
 		t.Fatal(err)
 	}
-	if len(head.Rows) != 2 {
-		t.Fatalf("HEAD has %d rows, want 2", len(head.Rows))
-	}
-	// Warning count stays at one: the fallback itself does not re-warn.
-	warned = warned[:0]
-	for _, w := range e.Warnings() {
-		if strings.Contains(w, "LIMIT without ORDER BY") {
-			warned = append(warned, w)
-		}
-	}
-	if len(warned) != 1 {
-		t.Fatalf("warning should fire once, got %d", len(warned))
-	}
+	wantHead(0, 2) // sorted bag {0,2,3}
 }

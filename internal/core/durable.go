@@ -135,6 +135,10 @@ func (s *Store) applyWALChange(rec *wal.ChangeRecord) error {
 		s.BeginTxn()
 	case wal.SealEvent:
 		s.MarkEvent()
+	case wal.SealBarrier:
+		// The preceding CtlRestore record set pendResetAll, so this seals
+		// the same restore-barrier boundary the original process did.
+		s.SealRestoreBarrier()
 	default:
 		return fmt.Errorf("unknown seal op %d", rec.Seal)
 	}

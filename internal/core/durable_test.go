@@ -684,3 +684,80 @@ func TestOpenDurableEngineRoundTrip(t *testing.T) {
 		t.Fatal("RecoverEngine accepted an empty log")
 	}
 }
+
+// TestWALPostRestoreWriteCrashParity is the regression wall for the restore
+// barrier: while a restore window is open, recordChange drops deltas, so a
+// write accepted inside the window would silently never reach the log. Undo
+// seals the window itself (it commits), but a host calling
+// Store().RestoreVersion directly leaves it open — the engine must seal the
+// barrier before accepting any post-restore write, and recovery from a disk
+// clone taken after such a write must reproduce it exactly.
+func TestWALPostRestoreWriteCrashParity(t *testing.T) {
+	cfg := Config{MaxHistory: 4}
+	fs := faultfs.NewMem()
+	l, _ := openTestWAL(t, fs, 1<<30)
+	e := New(cfg)
+	e.AttachWAL(l)
+	if err := e.LoadProgram(brushingProgram); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	exec := func(src string) {
+		t.Helper()
+		if err := e.Exec(src); err != nil {
+			t.Fatalf("exec %s: %v", src, err)
+		}
+		e.Commit()
+	}
+	type crashPoint struct {
+		fs      *faultfs.Mem
+		commits int
+		want    engineFrame
+	}
+	var points []crashPoint
+	mark := func() {
+		points = append(points, crashPoint{fs.Clone(), totalCommits(e), captureEngineFrame(e)})
+	}
+
+	exec("INSERT INTO Sales VALUES (6, 60, 60, 60, 'flute');")
+	if err := e.Store().RestoreVersion(1); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// First post-restore write: the barrier must seal before the insert so
+	// the delta journals normally.
+	exec("INSERT INTO Sales VALUES (7, 70, 70, 70, 'oboe');")
+	mark()
+	// A second restore/write cycle deeper into the history, this time with
+	// the post-restore write arriving through the host row API.
+	if err := e.Store().RestoreVersion(2); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if err := e.InsertRows("Sales", []relation.Tuple{{
+		relation.Int(8), relation.Float(80), relation.Float(80),
+		relation.Float(80), relation.String("drum"),
+	}}); err != nil {
+		t.Fatalf("insert rows: %v", err)
+	}
+	e.Commit()
+	mark()
+	if err := l.Err(); err != nil {
+		t.Fatalf("log error: %v", err)
+	}
+	l.Close()
+
+	for i, c := range points {
+		step := fmt.Sprintf("post-restore crash point %d (commit %d)", i, c.commits)
+		l2, rec := openTestWAL(t, c.fs, 1<<30)
+		if !rec.Report.Clean() {
+			t.Fatalf("%s: unexpected repair: %s", step, rec.Report)
+		}
+		re, err := RecoverEngine(cfg, brushingProgram, rec)
+		l2.Close()
+		if err != nil {
+			t.Fatalf("%s: recover: %v", step, err)
+		}
+		if got := totalCommits(re); got != c.commits {
+			t.Fatalf("%s: recovered commit count %d, want %d", step, got, c.commits)
+		}
+		assertEngineFrame(t, step, re, c.want)
+	}
+}

@@ -39,6 +39,11 @@ type Config struct {
 	// This is the baseline arm of the cube benchmark; leave false for
 	// normal operation.
 	DisableCube bool
+	// DisableFusion keeps aggregate delta applies on the materialized
+	// row-at-a-time path instead of streaming fused join→aggregate applies.
+	// This is the ablation arm of the fusion benchmark; leave false for
+	// normal operation.
+	DisableFusion bool
 }
 
 // TxnEvent describes how one fed input event advanced the interaction
@@ -105,6 +110,9 @@ type TopKStats = exec.TopKStats
 // O(bins) brush moves) for the same reason.
 type CubeStats = exec.CubeStats
 
+// ExecStats aliases the executor's fused/columnar counters.
+type ExecStats = exec.ExecStats
+
 // Stats counts engine work, exposed for benchmarks and the experiment
 // harness. ViewRecomputes counts full (re)materializations; the delta
 // counters cover the incremental path: ViewDeltaApplies is the number of
@@ -145,6 +153,13 @@ type Stats struct {
 	// (non-decomposable aggregate, residual predicate, subquery
 	// parameterization, …). TileBytes is a gauge filled by StatsSnapshot.
 	Cube CubeStats
+
+	// Exec counts the executor's columnar/fused delta work: BatchRows is
+	// change rows pushed through fused join→aggregate streams, FusedApplies
+	// the non-empty delta applications those streams served, RowFallbacks
+	// the fusible applies that ran row-at-a-time because fusion was
+	// disabled (the DisableFusion ablation arm).
+	Exec ExecStats
 
 	// Versioning counts the storage manager's delta-log work (boundaries
 	// sealed, bytes checkpointed, versions reconstructed). The store writes
@@ -326,6 +341,7 @@ func (e *Engine) execStmt(s parser.Statement) error {
 			}
 			return fmt.Errorf("relation %q already exists", n.Name)
 		}
+		e.guardRestoreBarrier()
 		e.store.Put(relation.New(n.Name, n.Schema))
 		return nil
 	case *parser.InsertStmt:
@@ -347,7 +363,16 @@ func (e *Engine) execStmt(s parser.Statement) error {
 	}
 }
 
+// guardRestoreBarrier seals any restore window still open on the store
+// before a write mutates live state. A host that calls Store().
+// RestoreVersion directly (instead of Undo, which commits) would otherwise
+// write inside the barrier window, where deltas are dropped from the
+// pending set and therefore never journaled to the WAL — replay would lose
+// the writes even though the in-memory store stayed correct.
+func (e *Engine) guardRestoreBarrier() { e.store.SealRestoreBarrier() }
+
 func (e *Engine) execInsert(n *parser.InsertStmt) error {
+	e.guardRestoreBarrier()
 	if err := e.writableHere(n.Table); err != nil {
 		return err
 	}
@@ -444,6 +469,7 @@ func (e *Engine) InsertRows(table string, rows []relation.Tuple) error {
 func (e *Engine) InsertRowsDelta(table string, rows []relation.Tuple) (map[string]*relation.Delta, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.guardRestoreBarrier()
 	if err := e.writableHere(table); err != nil {
 		return nil, err
 	}
@@ -482,6 +508,7 @@ func (e *Engine) hasRel(name string) bool {
 }
 
 func (e *Engine) execDelete(n *parser.DeleteStmt) error {
+	e.guardRestoreBarrier()
 	if err := e.writableHere(n.Table); err != nil {
 		return err
 	}
@@ -575,6 +602,7 @@ func (e *Engine) defineView(stmt *parser.AssignStmt) error {
 		_, err := e.executor().RunQuery(stmt.Query)
 		return err
 	}
+	e.guardRestoreBarrier()
 	k := strings.ToLower(stmt.Name)
 	v := &view{name: stmt.Name, query: stmt.Query, deps: queryDeps(stmt.Query)}
 	if r, ok := stmt.Query.(*parser.RenderStmt); ok {
@@ -636,18 +664,6 @@ func (e *Engine) defineView(stmt *parser.AssignStmt) error {
 	if _, err := e.recomputeView(v); err != nil {
 		return err
 	}
-	// Satellite diagnostic: a bare LIMIT (no ORDER BY) can never take the
-	// incremental path — its prefix depends on arbitrary physical row
-	// order, which bag deltas do not preserve — so the view silently falls
-	// back to full recomputation on every change. Say so once, at
-	// definition time, instead of leaving the cost to be discovered in a
-	// profile. (ORDER BY + LIMIT is maintained exactly; see exec's
-	// order-statistic top-k.)
-	if v.prepared != nil && !v.prepared.DeltaSafe() &&
-		strings.Contains(v.prepared.DeltaReason(), "LIMIT without ORDER BY") {
-		e.warnings = append(e.warnings, fmt.Sprintf(
-			"view %s: LIMIT without ORDER BY falls back to full recomputation on every change (the prefix depends on arbitrary row order); add ORDER BY to enable incremental top-k maintenance", v.name))
-	}
 	return e.refresh(changeSet(stmt.Name, nil))
 }
 
@@ -699,8 +715,9 @@ func (e *Engine) preparedFor(v *view) (*exec.Prepared, error) {
 	}
 	p = plan.Optimize(p, e.funcs)
 	prep, err := exec.PrepareWithOptions(p, e.funcs, exec.PrepareOptions{
-		Group:  e.shares,
-		NoCube: e.cfg.DisableCube,
+		Group:    e.shares,
+		NoCube:   e.cfg.DisableCube,
+		NoFusion: e.cfg.DisableFusion,
 	})
 	if err != nil {
 		return nil, err
@@ -778,6 +795,7 @@ func (e *Engine) recomputeView(v *view) (*relation.Delta, error) {
 					v.lin = res.Lin
 				}
 				e.drainCubeStats(prep) // priming can build tiles
+				e.drainExecStats(prep)
 			}
 		}
 	}
@@ -949,6 +967,7 @@ func (e *Engine) tryDelta(v *view, changes map[string]*relation.Delta) (out *rel
 		e.Stats.TopK.Evictions += ts.Evictions
 	}
 	e.drainCubeStats(prep)
+	e.drainExecStats(prep)
 	return &od, true, nil
 }
 
@@ -959,6 +978,16 @@ func (e *Engine) drainCubeStats(prep *exec.Prepared) {
 		e.Stats.Cube.Builds += cs.Builds
 		e.Stats.Cube.Hits += cs.Hits
 		e.Stats.Cube.BinsAnswered += cs.BinsAnswered
+	}
+}
+
+// drainExecStats folds a pipeline's fused/columnar counters into the engine
+// stats.
+func (e *Engine) drainExecStats(prep *exec.Prepared) {
+	if es := prep.TakeExecStats(); es != (exec.ExecStats{}) {
+		e.Stats.Exec.BatchRows += es.BatchRows
+		e.Stats.Exec.FusedApplies += es.FusedApplies
+		e.Stats.Exec.RowFallbacks += es.RowFallbacks
 	}
 }
 
@@ -1079,6 +1108,7 @@ func (e *Engine) FeedEvent(ev events.Event) (TxnEvent, error) {
 }
 
 func (e *Engine) feedEvent(ev events.Event) (TxnEvent, error) {
+	e.guardRestoreBarrier()
 	e.Stats.EventsFed++
 	var out TxnEvent
 	consumed := false

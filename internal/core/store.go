@@ -400,7 +400,9 @@ func (s *Store) seal(op wal.SealOp) int {
 
 // changeRecord serializes one sealed window for the wal sink. Barrier
 // windows (after a RestoreVersion) carry nothing: the preceding restore
-// control record reproduces their state on replay.
+// control record reproduces their state on replay. Writes never land
+// inside a barrier window — the engine seals it first via
+// SealRestoreBarrier — so the empty record loses nothing.
 func changeRecord(op wal.SealOp, e *logEntry) *wal.ChangeRecord {
 	rec := &wal.ChangeRecord{Seal: op, Created: e.created}
 	for k, d := range e.deltas {
@@ -899,6 +901,30 @@ func (s *Store) RestoreVersion(i int) error {
 		s.sink(&wal.ControlRecord{Op: wal.CtlRestore, Version: i})
 	}
 	return nil
+}
+
+// SealRestoreBarrier closes the restore window opened by RestoreVersion
+// without waiting for the next commit/event boundary. While pendResetAll is
+// set, recordChange drops deltas (the barrier entry checkpoints live state
+// instead), which is correct in memory but means writes landing inside the
+// window would never reach the WAL — the barrier's change record carries
+// nothing and the restore control record only reproduces the rewound state.
+// The engine therefore calls this before accepting any post-restore write,
+// so the barrier seals first and subsequent deltas journal normally. A
+// no-op when no restore window is open. Inside a transaction the barrier
+// seals as an event boundary (MarkEvent replays it deterministically);
+// outside it seals as a dedicated SealBarrier record replayed via this
+// same method.
+func (s *Store) SealRestoreBarrier() {
+	if !s.pendResetAll {
+		return
+	}
+	if s.txnAt != nil {
+		s.txnAt = append(s.txnAt, s.seal(wal.SealEvent))
+	} else {
+		s.seal(wal.SealBarrier)
+	}
+	s.emitWAL()
 }
 
 // --- reconstruction cache ---

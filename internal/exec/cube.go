@@ -390,9 +390,14 @@ func (t *cubeTiles) applyFactRow(cs *cubeShape, env *expr.Env, binKey, scratch r
 		if sp.arg == nil { // count(*): rows carries it
 			continue
 		}
-		v, err := sp.arg(env)
-		if err != nil {
-			return -1, -1, fmt.Errorf("cube aggregate %s: %w", sp.str, err)
+		var v relation.Value
+		if sp.argCol >= 0 {
+			v = env.Row[sp.argCol] // locateGroup left env.Row on the padded row
+		} else {
+			var err error
+			if v, err = sp.arg(env); err != nil {
+				return -1, -1, fmt.Errorf("cube aggregate %s: %w", sp.str, err)
+			}
 		}
 		c.parts[si].accumulate(v, int64(sign))
 	}
@@ -439,6 +444,10 @@ func (t *cubeTiles) groupKeyOf(cs *cubeShape, env *expr.Env, scratch relation.Tu
 	}
 	key := make(relation.Tuple, len(prog.groupBy))
 	for gi, g := range prog.groupBy {
+		if idx := prog.groupCols[gi]; idx >= 0 {
+			key[gi] = env.Row[idx]
+			continue
+		}
 		v, err := g(env)
 		if err != nil {
 			return -1, 0, nil, fmt.Errorf("cube group by %s: %w", prog.groupStr[gi], err)

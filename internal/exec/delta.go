@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/plan"
@@ -46,9 +47,11 @@ type deltaBuilder struct {
 	sorts       []*dSort
 	group       *ShareGroup
 	shared      []*dJoin
-	cubes       []*dCube // all cube operators, for stats/bytes
-	sharedCubes []*dCube // the subset attached to the group registry
-	noCube      bool     // skip the index-tile rewrite (benchmark baseline)
+	cubes       []*dCube   // all cube operators, for stats/bytes
+	sharedCubes []*dCube   // the subset attached to the group registry
+	noCube      bool       // skip the index-tile rewrite (benchmark baseline)
+	noFusion    bool       // keep aggregate deltas row-at-a-time (ablation arm)
+	es          *ExecStats // fused/columnar counters shared by the whole tree
 }
 
 // build returns false for shapes without a delta rule; callers gate on
@@ -104,7 +107,11 @@ func (db *deltaBuilder) build(b bnode) (dnode, bool) {
 		if !ok {
 			return nil, false
 		}
-		return &dAggregate{b: t, child: child}, true
+		da := &dAggregate{b: t, child: child, noFusion: db.noFusion, es: db.es}
+		if s, ok := child.(streamer); ok && fusibleChain(child) {
+			da.stream = s
+		}
+		return da, true
 	case *bDistinct:
 		child, ok := db.build(t.child)
 		if !ok {
@@ -124,12 +131,14 @@ func (db *deltaBuilder) build(b bnode) (dnode, bool) {
 	case *bSort:
 		return db.buildSort(t, -1)
 	case *bLimit:
-		// LIMIT is incrementalizable only over an ORDER BY, whose maintained
-		// order makes the k-prefix deterministic; a bare LIMIT has no delta
-		// rule (plan.DeltaSafety rejects it first).
+		// LIMIT over an ORDER BY maintains the k-prefix of that order. A bare
+		// LIMIT gets the same treatment over the deterministic full-tuple
+		// order: a zero-key sort degrades the order-statistic comparisons to
+		// relation.CompareTuples, which is exactly the order bLimit.run pins
+		// the full path to.
 		s, ok := t.child.(*bSort)
 		if !ok {
-			return nil, false
+			s = &bSort{child: t.child, s: &plan.Sort{}, static: []expr.Compiled{}}
 		}
 		return db.buildSort(s, t.n)
 	default:
@@ -344,6 +353,9 @@ func (d *dFilter) filter(rows []relation.Tuple) ([]relation.Tuple, error) {
 	if pred == nil {
 		return rows, nil
 	}
+	if out, ok := d.b.kern.filterBatch(rows, nil); ok {
+		return out, nil
+	}
 	env := &expr.Env{}
 	var out []relation.Tuple
 	for _, row := range rows {
@@ -399,10 +411,15 @@ func (d *dProject) project(rows []relation.Tuple) ([]relation.Tuple, error) {
 	out := make([]relation.Tuple, 0, len(rows))
 	var arena valueArena
 	arena.expect(len(rows) * len(fns))
+	cols := d.b.cols
 	for _, row := range rows {
 		env.Row = row
 		t := arena.alloc(len(fns))
 		for c, fn := range fns {
+			if idx := cols[c]; idx >= 0 {
+				t[c] = row[idx]
+				continue
+			}
 			v, err := fn(env)
 			if err != nil {
 				return nil, fmt.Errorf("project %s: %w", d.b.items[c].String(), err)
@@ -821,14 +838,22 @@ type dAggregate struct {
 	b        *bAggregate
 	child    dnode
 	groups   map[uint64][]*dgroup
+	g1       map[relation.Value]*dgroup // single-column keys: direct map, no tuple hash
 	needVals []bool
 	aggs     []relation.Value
+	stream   streamer   // non-nil when the child chain can push rows (fuse.go)
+	noFusion bool       // ablation arm: keep the materialized row path
+	es       *ExecStats // nil-safe counters shared with the Prepared
+	volatile bool       // streamed rows are reused scratch; clone before retaining
 }
 
 func (d *dAggregate) prog() *aggProgram { return d.b.static }
 
 func (d *dAggregate) newGroup(h uint64, key, rep relation.Tuple) *dgroup {
 	prog := d.prog()
+	if d.volatile && rep != nil {
+		rep = rep.Clone() // the group retains its representative past the call
+	}
 	grp := &dgroup{rep: rep, states: make([]*aggState, len(prog.specs))}
 	if key != nil {
 		grp.key = key.Clone()
@@ -836,7 +861,9 @@ func (d *dAggregate) newGroup(h uint64, key, rep relation.Tuple) *dgroup {
 	for si := range grp.states {
 		grp.states[si] = newDeltaAggState(prog.specs[si].agg.Distinct, d.needVals[si])
 	}
-	d.groups[h] = append(d.groups[h], grp)
+	if d.g1 == nil { // single-key groups register in g1 (caller indexes it)
+		d.groups[h] = append(d.groups[h], grp)
+	}
 	return grp
 }
 
@@ -850,6 +877,10 @@ func (d *dAggregate) findGroup(h uint64, key relation.Tuple) *dgroup {
 }
 
 func (d *dAggregate) dropGroup(h uint64, grp *dgroup) {
+	if d.g1 != nil {
+		delete(d.g1, grp.key[0].Key())
+		return
+	}
 	bucket := d.groups[h]
 	for i, cand := range bucket {
 		if cand == grp {
@@ -860,24 +891,44 @@ func (d *dAggregate) dropGroup(h uint64, grp *dgroup) {
 	}
 }
 
-// accumulate feeds one input row into its group with the given sign.
+// accumulate feeds one input row into its group with the given sign. Bare
+// column grouping keys and aggregate arguments bypass the compiled closures
+// (prog.groupCols / spec.argCol) — the inner loop is a slice index.
 func (d *dAggregate) accumulate(env *expr.Env, key relation.Tuple, row relation.Tuple, sign int, touched *[]*dgroup) (*dgroup, error) {
 	prog := d.prog()
 	env.Row = row
 	for gi, g := range prog.groupBy {
+		if idx := prog.groupCols[gi]; idx >= 0 {
+			key[gi] = row[idx]
+			continue
+		}
 		v, err := g(env)
 		if err != nil {
 			return nil, fmt.Errorf("group by %s: %w", prog.groupStr[gi], err)
 		}
 		key[gi] = v
 	}
-	h := key.Hash()
-	grp := d.findGroup(h, key)
-	if grp == nil {
-		if sign < 0 {
-			return nil, fmt.Errorf("aggregate state: delete for a group never seen")
+	var grp *dgroup
+	if d.g1 != nil {
+		// One grouping column: index the canonical value directly instead
+		// of hashing and probing a keyed bucket — the delta path's hottest
+		// lookup (Value.Key is the same normalization Tuple.Hash applies).
+		k := key[0].Key()
+		if grp = d.g1[k]; grp == nil {
+			if sign < 0 {
+				return nil, fmt.Errorf("aggregate state: delete for a group never seen")
+			}
+			grp = d.newGroup(0, key, row)
+			d.g1[k] = grp
 		}
-		grp = d.newGroup(h, key, row)
+	} else {
+		h := key.Hash()
+		if grp = d.findGroup(h, key); grp == nil {
+			if sign < 0 {
+				return nil, fmt.Errorf("aggregate state: delete for a group never seen")
+			}
+			grp = d.newGroup(h, key, row)
+		}
 	}
 	if touched != nil && !grp.touched {
 		grp.touched = true
@@ -889,9 +940,14 @@ func (d *dAggregate) accumulate(env *expr.Env, key relation.Tuple, row relation.
 		if sp.arg == nil { // count(*)
 			continue
 		}
-		v, err := sp.arg(env)
-		if err != nil {
-			return nil, fmt.Errorf("aggregate %s: %w", sp.str, err)
+		var v relation.Value
+		if sp.argCol >= 0 {
+			v = row[sp.argCol]
+		} else {
+			var err error
+			if v, err = sp.arg(env); err != nil {
+				return nil, fmt.Errorf("aggregate %s: %w", sp.str, err)
+			}
 		}
 		if sign > 0 {
 			grp.states[si].add(v)
@@ -952,6 +1008,11 @@ func (d *dAggregate) init(ex *Executor) ([]relation.Tuple, error) {
 		d.needVals[si] = prog.specs[si].agg.Distinct || name == "min" || name == "max"
 	}
 	nk := len(prog.groupBy)
+	if nk == 1 {
+		d.g1 = make(map[relation.Value]*dgroup)
+	} else {
+		d.g1 = nil
+	}
 	env := &expr.Env{}
 	key := make(relation.Tuple, nk)
 	var order []*dgroup
@@ -982,14 +1043,19 @@ func (d *dAggregate) init(ex *Executor) ([]relation.Tuple, error) {
 }
 
 func (d *dAggregate) delta(ex *Executor, in map[string]relation.Delta) (relation.Delta, error) {
+	if d.stream != nil && !d.noFusion {
+		return d.deltaFused(ex, in)
+	}
 	din, err := d.child.delta(ex, in)
 	if err != nil || din.Empty() {
 		return relation.Delta{}, err
 	}
-	prog := d.prog()
-	nk := len(prog.groupBy)
+	if d.stream != nil && d.es != nil {
+		// Fusible shape running row-at-a-time: only the ablation arm lands here.
+		atomic.AddInt64(&d.es.RowFallbacks, 1)
+	}
 	env := &expr.Env{}
-	key := make(relation.Tuple, nk)
+	key := make(relation.Tuple, len(d.prog().groupBy))
 	var touched []*dgroup
 	for _, row := range din.Ins {
 		if _, err := d.accumulate(env, key, row, +1, &touched); err != nil {
@@ -1001,6 +1067,13 @@ func (d *dAggregate) delta(ex *Executor, in map[string]relation.Delta) (relation
 			return relation.Delta{}, err
 		}
 	}
+	return d.flushTouched(env, touched)
+}
+
+// flushTouched turns the touched groups of one delta application into the
+// output delta, retiring emptied groups and re-emitting changed outputs.
+func (d *dAggregate) flushTouched(env *expr.Env, touched []*dgroup) (relation.Delta, error) {
+	nk := len(d.prog().groupBy)
 	var out relation.Delta
 	for _, grp := range touched {
 		grp.touched = false
@@ -1038,6 +1111,7 @@ func (d *dAggregate) delta(ex *Executor, in map[string]relation.Delta) (relation
 
 func (d *dAggregate) reset() {
 	d.groups = nil
+	d.g1 = nil
 	d.child.reset()
 }
 

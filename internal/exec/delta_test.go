@@ -176,7 +176,6 @@ func TestNotDeltaSafeReasons(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	cat := deltaCatalog(rng, 4)
 	for _, sql := range []string{
-		"SELECT region FROM Sales LIMIT 2",
 		"SELECT region FROM Sales WHERE revenue > (SELECT min(revenue) FROM Sales)",
 		"SELECT region FROM Sales WHERE region IN USRegions",
 	} {

@@ -58,6 +58,7 @@ func (b *bScan) run(ex *Executor) (*Result, error) {
 type bFilter struct {
 	child bnode
 	pred  bexpr
+	kern  filterKernel // columnar fast path for column-vs-literal predicates
 }
 
 func (b *bFilter) run(ex *Executor) (*Result, error) {
@@ -72,6 +73,13 @@ func (b *bFilter) run(ex *Executor) (*Result, error) {
 	// Filter output cardinality is unknown (often a small fraction of the
 	// input); geometric append growth beats preallocating at input size.
 	out := relation.New(in.Rel.Name, in.Rel.Schema)
+	if !ex.CaptureLineage {
+		// Lineage needs per-row input positions, which the batch drops.
+		if rows, ok := b.kern.filterBatch(in.Rel.Rows, nil); ok {
+			out.Rows = rows
+			return &Result{Rel: out}, nil
+		}
+	}
 	var lin []Lineage
 	env := &expr.Env{}
 	for i, row := range in.Rel.Rows {
@@ -97,6 +105,7 @@ type bProject struct {
 	outSchema relation.Schema
 	items     []bexpr
 	static    []expr.Compiled // set when every item compiled at prepare time
+	cols      []int           // per item: input column index for bare columns, else -1
 }
 
 func (b *bProject) run(ex *Executor) (*Result, error) {
@@ -123,6 +132,10 @@ func (b *bProject) run(ex *Executor) (*Result, error) {
 		env.Row = row
 		t := arena.alloc(len(fns))
 		for c, fn := range fns {
+			if idx := b.cols[c]; idx >= 0 {
+				t[c] = row[idx]
+				continue
+			}
 			v, err := fn(env)
 			if err != nil {
 				return nil, fmt.Errorf("project %s: %w", b.items[c].String(), err)
@@ -513,6 +526,10 @@ func (b *bAggregate) run(ex *Executor) (*Result, error) {
 	for i, row := range in.Rel.Rows {
 		env.Row = row
 		for gi, g := range prog.groupBy {
+			if idx := prog.groupCols[gi]; idx >= 0 {
+				key[gi] = row[idx]
+				continue
+			}
 			v, err := g(env)
 			if err != nil {
 				return nil, fmt.Errorf("group by %s: %w", prog.groupStr[gi], err)
@@ -536,9 +553,14 @@ func (b *bAggregate) run(ex *Executor) (*Result, error) {
 			if sp.arg == nil { // count(*)
 				continue
 			}
-			v, err := sp.arg(env)
-			if err != nil {
-				return nil, fmt.Errorf("aggregate %s: %w", sp.str, err)
+			var v relation.Value
+			if sp.argCol >= 0 {
+				v = row[sp.argCol]
+			} else {
+				var err error
+				if v, err = sp.arg(env); err != nil {
+					return nil, fmt.Errorf("aggregate %s: %w", sp.str, err)
+				}
 			}
 			grp.states[si].add(v)
 		}
@@ -681,10 +703,37 @@ func (b *bLimit) run(ex *Executor) (*Result, error) {
 		n = len(in.Rel.Rows)
 	}
 	out := relation.New(in.Rel.Name, in.Rel.Schema)
-	out.Rows = in.Rel.Rows[:n]
 	res := &Result{Rel: out}
+	if _, sorted := b.child.(*bSort); sorted || n == len(in.Rel.Rows) {
+		// An ORDER BY child already fixed the order; a full-bag prefix is the
+		// whole input either way.
+		out.Rows = in.Rel.Rows[:n]
+		if ex.CaptureLineage {
+			res.Lin = in.Lin[:n]
+		}
+		return res, nil
+	}
+	// Bare LIMIT: pin the prefix to the deterministic full-tuple order so the
+	// result is a function of the row bag, not of operator emission order —
+	// the delta path maintains the same prefix with a zero-key order-statistic
+	// tree. Sort an index permutation, not the rows themselves: a scan child
+	// aliases the base relation's row storage.
+	idx := make([]int, len(in.Rel.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		return relation.CompareTuples(in.Rel.Rows[idx[x]], in.Rel.Rows[idx[y]]) < 0
+	})
+	out.Rows = make([]relation.Tuple, n)
+	for i := 0; i < n; i++ {
+		out.Rows[i] = in.Rel.Rows[idx[i]]
+	}
 	if ex.CaptureLineage {
-		res.Lin = in.Lin[:n]
+		res.Lin = make([]Lineage, n)
+		for i := 0; i < n; i++ {
+			res.Lin[i] = in.Lin[idx[i]]
+		}
 	}
 	return res, nil
 }

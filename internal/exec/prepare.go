@@ -10,6 +10,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/plan"
@@ -47,6 +48,11 @@ type Prepared struct {
 	// cubes lists every data-cube operator in droot (shared or private), for
 	// stats draining and tile-memory accounting.
 	cubes []*dCube
+
+	// estats collects the fused/columnar counters for the whole delta tree.
+	// Atomic access: shared-side subtrees advance under the group lock while
+	// TakeExecStats drains under the engine lock.
+	estats *ExecStats
 }
 
 // Plan returns the underlying logical plan (EXPLAIN-style output).
@@ -101,6 +107,10 @@ type PrepareOptions struct {
 	// aggregates on the ordinary dAggregate/dJoin pipeline. Benchmarks use it
 	// as the pre-cube baseline arm; normal operation leaves it false.
 	NoCube bool
+	// NoFusion keeps aggregate deltas on the materialized row-at-a-time path
+	// instead of streaming fused join→aggregate applies. Benchmarks use it as
+	// the ablation arm; normal operation leaves it false.
+	NoFusion bool
 }
 
 // PrepareWithOptions is PrepareShared with explicit construction options.
@@ -115,9 +125,10 @@ func PrepareWithOptions(n plan.Node, funcs *expr.Registry, opts PrepareOptions) 
 		p.deltaReason = why
 		return p, nil
 	}
-	db := &deltaBuilder{group: group, noCube: opts.NoCube}
+	db := &deltaBuilder{group: group, noCube: opts.NoCube, noFusion: opts.NoFusion, es: &ExecStats{}}
 	if droot, ok := db.build(root); ok {
 		p.droot = droot
+		p.estats = db.es
 		p.dsorts = db.sorts
 		p.group = group
 		p.sharedJoins = db.shared
@@ -211,6 +222,20 @@ func (p *Prepared) OrderRows(rows []relation.Tuple) error {
 	return p.ordRoot.sortRows(rows)
 }
 
+// TakeExecStats drains the fused/columnar counters accumulated since the
+// last call. Zero-value result means the plan has no fusible aggregates or
+// nothing happened.
+func (p *Prepared) TakeExecStats() ExecStats {
+	if p.estats == nil {
+		return ExecStats{}
+	}
+	return ExecStats{
+		BatchRows:    atomic.SwapInt64(&p.estats.BatchRows, 0),
+		FusedApplies: atomic.SwapInt64(&p.estats.FusedApplies, 0),
+		RowFallbacks: atomic.SwapInt64(&p.estats.RowFallbacks, 0),
+	}
+}
+
 // TakeTopKStats drains the order-statistic counters accumulated since the
 // last call (PrefixEmits, Evictions) and snapshots the current tree sizes
 // (TreeRows). Zero-value result means the plan has no ordered operators or
@@ -237,10 +262,12 @@ func prep(n plan.Node, funcs *expr.Registry) (bnode, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &bFilter{
+		b := &bFilter{
 			child: child,
 			pred:  bindExpr(t.Pred, t.Child.Schema(), funcs),
-		}, nil
+		}
+		b.kern = buildFilterKernel(b.pred)
+		return b, nil
 	case *plan.Project:
 		return prepProject(t, t.Schema(), funcs)
 	case *plan.Join:
@@ -345,11 +372,28 @@ func prepProject(p *plan.Project, outSchema relation.Schema, funcs *expr.Registr
 		return nil, err
 	}
 	b := &bProject{child: child, outSchema: outSchema}
+	childSchema := p.Child.Schema()
 	for _, it := range p.Items {
-		b.items = append(b.items, bindExpr(it.Expr, p.Child.Schema(), funcs))
+		b.items = append(b.items, bindExpr(it.Expr, childSchema, funcs))
+		b.cols = append(b.cols, bareColumn(it.Expr, childSchema))
 	}
 	b.static = staticFns(b.items)
 	return b, nil
+}
+
+// bareColumn returns the input index of a plain column expression, -1 for
+// anything else — the monomorphic fast path copies the Value by index
+// instead of dispatching through the compiled closure.
+func bareColumn(e expr.Expr, schema relation.Schema) int {
+	c, ok := e.(*expr.Column)
+	if !ok {
+		return -1
+	}
+	idx, err := schema.IndexErr(c.Qualifier, c.Name)
+	if err != nil {
+		return -1
+	}
+	return idx
 }
 
 // staticFns returns the compiled evaluators when every bexpr bound at
@@ -484,21 +528,24 @@ func prepAggregate(a *plan.Aggregate, funcs *expr.Registry) (bnode, error) {
 // baggSpec is one distinct aggregate call within an Aggregate node, with its
 // argument compiled (nil for count(*)).
 type baggSpec struct {
-	agg *expr.Agg
-	arg expr.Compiled
-	str string
+	agg    *expr.Agg
+	arg    expr.Compiled
+	str    string
+	argCol int // input index when the argument is a bare column, else -1
 }
 
 // aggProgram is a fully bound aggregation: group keys, aggregate argument
 // evaluators, and output/having evaluators that read per-group aggregate
 // results from Env.Aggs slots.
 type aggProgram struct {
-	groupBy  []expr.Compiled
-	groupStr []string
-	specs    []baggSpec
-	items    []expr.Compiled
-	itemStr  []string
-	having   expr.Compiled
+	groupBy   []expr.Compiled
+	groupCols []int // per key: input column index for bare columns, else -1
+	groupStr  []string
+	specs     []baggSpec
+	items     []expr.Compiled
+	itemStr   []string
+	having    expr.Compiled
+	allBare   bool // every group key and aggregate argument is a bare column
 }
 
 // compileAgg lays out an aggregation program against already-resolved
@@ -509,6 +556,7 @@ func compileAgg(groupBy []expr.Expr, items []plan.ProjItem, having expr.Expr, sc
 	rowBC := &expr.BindContext{Schema: schema, Funcs: funcs}
 	for _, g := range groupBy {
 		prog.groupBy = append(prog.groupBy, expr.Bind(g, rowBC))
+		prog.groupCols = append(prog.groupCols, bareColumn(g, schema))
 		prog.groupStr = append(prog.groupStr, g.String())
 	}
 	specIdx := map[string]int{}
@@ -518,10 +566,12 @@ func compileAgg(groupBy []expr.Expr, items []plan.ProjItem, having expr.Expr, sc
 			if _, ok := specIdx[k]; !ok {
 				specIdx[k] = len(prog.specs)
 				var arg expr.Compiled
+				argCol := -1
 				if ag.Arg != nil {
 					arg = expr.Bind(ag.Arg, rowBC)
+					argCol = bareColumn(ag.Arg, schema)
 				}
-				prog.specs = append(prog.specs, baggSpec{agg: ag, arg: arg, str: k})
+				prog.specs = append(prog.specs, baggSpec{agg: ag, arg: arg, str: k, argCol: argCol})
 			}
 		}
 	}
@@ -538,5 +588,16 @@ func compileAgg(groupBy []expr.Expr, items []plan.ProjItem, having expr.Expr, sc
 		prog.itemStr = append(prog.itemStr, it.Expr.String())
 	}
 	prog.having = expr.Bind(having, groupBC)
+	prog.allBare = true
+	for _, gc := range prog.groupCols {
+		if gc < 0 {
+			prog.allBare = false
+		}
+	}
+	for _, sp := range prog.specs {
+		if sp.arg != nil && sp.argCol < 0 {
+			prog.allBare = false
+		}
+	}
 	return prog
 }

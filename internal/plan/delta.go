@@ -22,14 +22,16 @@ import (
 //   - expressions needing per-run resolution (scalar subqueries, IN over a
 //     relation): their value can change with relations the operator never
 //     sees a delta for;
-//   - LIMIT without ORDER BY: its prefix depends on arbitrary row order,
-//     which bag deltas do not preserve (ORDER BY — with or without LIMIT —
-//     is safe: the executor maintains an order-statistic tree with
-//     deterministic full-tuple tie-breaking, so the sorted output and the
-//     top-k prefix both have exact delta rules);
 //   - aggregates whose output expressions read columns that are not grouping
 //     keys: those read the group's "representative" row, which full
 //     recomputation re-picks but a delta pipeline cannot.
+//
+// ORDER BY — with or without LIMIT — is safe over safe children: the
+// executor maintains an order-statistic tree with deterministic full-tuple
+// tie-breaking, so the sorted output and the top-k prefix both have exact
+// delta rules. A bare LIMIT (no ORDER BY) is safe the same way: the
+// executor pins its prefix to the deterministic full-tuple order (an
+// ordstat tree with zero sort keys), which bag deltas maintain exactly.
 func DeltaSafety(n Node) (bool, string) {
 	switch t := n.(type) {
 	case *Scan:
@@ -74,12 +76,13 @@ func DeltaSafety(n Node) (bool, string) {
 	case *Sort:
 		return sortSafety(t)
 	case *Limit:
-		// A LIMIT is incrementalizable only over an ORDER BY: the maintained
-		// total order makes the k-prefix (and therefore its delta) exact.
+		// Over an ORDER BY, the maintained total order makes the k-prefix
+		// (and therefore its delta) exact. A bare LIMIT gets the same
+		// treatment over the deterministic full-tuple order.
 		if s, ok := t.Child.(*Sort); ok {
 			return sortSafety(s)
 		}
-		return false, "LIMIT without ORDER BY output is order-sensitive"
+		return DeltaSafety(t.Child)
 	default:
 		return false, fmt.Sprintf("plan node %T has no delta rule", n)
 	}

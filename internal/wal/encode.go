@@ -29,9 +29,10 @@ type SealOp uint8
 
 // Seal boundaries, mirroring the store's sealing call sites.
 const (
-	SealCommit SealOp = iota // Store.Commit
-	SealBegin                // Store.BeginTxn
-	SealEvent                // Store.MarkEvent
+	SealCommit  SealOp = iota // Store.Commit
+	SealBegin                 // Store.BeginTxn
+	SealEvent                 // Store.MarkEvent
+	SealBarrier               // Store.SealRestoreBarrier (post-restore write guard)
 )
 
 // ControlOp is a logical store operation that is not a sealed window.
