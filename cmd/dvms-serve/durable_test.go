@@ -109,7 +109,9 @@ func TestSigtermRestartResume(t *testing.T) {
 	dir := t.TempDir()
 	addr := freePort(t)
 	done := make(chan error, 1)
-	go func() { done <- run(addr, "", "ivm", 300, 7, 0, 0, dir, "never") }()
+	go func() {
+		done <- run(options{addr: addr, workloadID: "ivm", n: 300, seed: 7, dataDir: dir, fsyncMode: "never"})
+	}()
 
 	c := dialRetry(t, addr)
 	token := c.must(`{"op":"ping"}`).Token
@@ -141,7 +143,9 @@ func TestSigtermRestartResume(t *testing.T) {
 
 	addr2 := freePort(t)
 	done2 := make(chan error, 1)
-	go func() { done2 <- run(addr2, "", "ivm", 300, 7, 0, 0, dir, "never") }()
+	go func() {
+		done2 <- run(options{addr: addr2, workloadID: "ivm", n: 300, seed: 7, dataDir: dir, fsyncMode: "never"})
+	}()
 	c2 := dialRetry(t, addr2)
 	resp := c2.must(fmt.Sprintf(`{"op":"resume","token":%q}`, token))
 	if resp.Token != token {

@@ -19,6 +19,7 @@
 //	{"op":"query","q":"SELECT count(*) FROM Sales"}
 //	{"op":"undo"}
 //	{"op":"stats"}
+//	{"op":"trace","slow":true}
 //	{"op":"ping"}
 //	{"op":"resume","token":"<token from an earlier ping>"}
 //	{"op":"detach"}
@@ -28,9 +29,15 @@
 // listener closes, every connection gets a shutdown error frame, the log
 // seals, and the process exits 0.
 //
+// With -metrics-addr set, a second HTTP listener serves /metrics
+// (Prometheus text exposition of the server-wide metrics snapshot) and
+// /debug/pprof/ (the standard Go profiler endpoints). -latency-budget tunes
+// the slow-event threshold; -no-obs disables instrumentation entirely (the
+// ablation arm).
+//
 // Usage:
 //
-//	dvms-serve -addr :7077 -workload ivm -n 100000
+//	dvms-serve -addr :7077 -workload ivm -n 100000 -metrics-addr :7078
 //	dvms-serve -addr :7077 -program crossfilter.devil -data-dir ./data -fsync interval
 package main
 
@@ -39,8 +46,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -56,26 +65,47 @@ import (
 	"repro/internal/wal"
 )
 
+type options struct {
+	addr        string
+	program     string
+	workloadID  string
+	n           int
+	seed        int64
+	maxSessions int
+	idle        time.Duration
+	dataDir     string
+	fsyncMode   string
+	metricsAddr string
+	budget      time.Duration
+	noObs       bool
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":7077", "listen address")
-		program     = flag.String("program", "", "DeVIL program file (overrides -workload)")
-		workloadID  = flag.String("workload", "ivm", "builtin workload: ivm (join-based crossfilter)")
-		n           = flag.Int("n", 100000, "base rows for the builtin workload")
-		seed        = flag.Int64("seed", 7, "workload seed")
-		maxSessions = flag.Int("max-sessions", 0, "session cap (0 = unlimited)")
-		idle        = flag.Duration("idle-timeout", 10*time.Minute, "idle session eviction age")
-		dataDir     = flag.String("data-dir", "", "durable log directory (empty = in-memory only)")
-		fsyncMode   = flag.String("fsync", "interval", "log fsync policy: always, interval, never")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":7077", "listen address")
+	flag.StringVar(&o.program, "program", "", "DeVIL program file (overrides -workload)")
+	flag.StringVar(&o.workloadID, "workload", "ivm", "builtin workload: ivm (join-based crossfilter)")
+	flag.IntVar(&o.n, "n", 100000, "base rows for the builtin workload")
+	flag.Int64Var(&o.seed, "seed", 7, "workload seed")
+	flag.IntVar(&o.maxSessions, "max-sessions", 0, "session cap (0 = unlimited)")
+	flag.DurationVar(&o.idle, "idle-timeout", 10*time.Minute, "idle session eviction age")
+	flag.StringVar(&o.dataDir, "data-dir", "", "durable log directory (empty = in-memory only)")
+	flag.StringVar(&o.fsyncMode, "fsync", "interval", "log fsync policy: always, interval, never")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "HTTP listener for /metrics and /debug/pprof (empty = off)")
+	flag.DurationVar(&o.budget, "latency-budget", 0, "slow-event latency budget (0 = default 100ms)")
+	flag.BoolVar(&o.noObs, "no-obs", false, "disable latency observability (ablation arm)")
 	flag.Parse()
-	if err := run(*addr, *program, *workloadID, *n, *seed, *maxSessions, *idle, *dataDir, *fsyncMode); err != nil {
-		fmt.Fprintln(os.Stderr, "dvms-serve:", err)
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)).With("prog", "dvms-serve"))
+	if err := run(o); err != nil {
+		slog.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, programPath, workloadID string, n int, seed int64, maxSessions int, idle time.Duration, dataDir, fsyncMode string) error {
+func run(o options) error {
+	addr, programPath, workloadID := o.addr, o.program, o.workloadID
+	n, seed, maxSessions, idle := o.n, o.seed, o.maxSessions, o.idle
+	dataDir, fsyncMode := o.dataDir, o.fsyncMode
 	var src string
 	var load func(*server.Server) error
 	switch {
@@ -95,6 +125,8 @@ func run(addr, programPath, workloadID string, n int, seed int64, maxSessions in
 		return fmt.Errorf("unknown workload %q", workloadID)
 	}
 	cfg := server.Config{MaxSessions: maxSessions, IdleTimeout: idle}
+	cfg.Engine.DisableObs = o.noObs
+	cfg.Engine.LatencyBudget = o.budget
 	var srv *server.Server
 	if dataDir != "" {
 		policy, err := wal.ParsePolicy(fsyncMode)
@@ -109,7 +141,7 @@ func run(addr, programPath, workloadID string, n int, seed int64, maxSessions in
 		if rep.Records > 0 || rep.CheckpointCommits > 0 {
 			// Recovered state already includes the workload load; loading
 			// again would double the base rows.
-			log.Printf("dvms-serve: recovered from %s: %s", dataDir, rep)
+			slog.Info("recovered durable state", "dir", dataDir, "clean", rep.Clean(), "report", rep.String())
 		} else {
 			if err := load(srv); err != nil {
 				return err
@@ -125,17 +157,24 @@ func run(addr, programPath, workloadID string, n int, seed int64, maxSessions in
 			return err
 		}
 	}
+	srv.SetLogger(slog.Default())
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("dvms-serve: listening on %s (%d base relations loaded)", ln.Addr(), len(srv.Base().Store().Names()))
+	slog.Info("listening", "addr", ln.Addr().String(),
+		"relations", len(srv.Base().Store().Names()), "durable", dataDir != "", "obs", !o.noObs)
+	var metrics *http.Server
+	if o.metricsAddr != "" {
+		metrics, err = serveMetrics(srv, o.metricsAddr)
+		if err != nil {
+			return err
+		}
+	}
 	if idle > 0 {
 		go func() {
 			for range time.Tick(idle / 2) {
-				if evicted := srv.EvictIdle(idle); evicted > 0 {
-					log.Printf("dvms-serve: evicted %d idle sessions", evicted)
-				}
+				srv.EvictIdle(idle) // evictions log per session via the server's logger
 			}
 		}()
 	}
@@ -150,9 +189,12 @@ func run(addr, programPath, workloadID string, n int, seed int64, maxSessions in
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigc
-		log.Printf("dvms-serve: %s: shutting down", sig)
+		slog.Info("shutting down", "signal", sig.String())
 		shuttingDown.Store(true)
 		ln.Close()
+		if metrics != nil {
+			metrics.Close()
+		}
 		connMu.Lock()
 		for c := range conns {
 			protocol.WriteResponse(c, protocol.Response{Error: "server shutting down"})
@@ -184,8 +226,39 @@ func run(addr, programPath, workloadID string, n int, seed int64, maxSessions in
 	if err := srv.Shutdown(); err != nil {
 		return fmt.Errorf("seal log: %w", err)
 	}
-	log.Printf("dvms-serve: shutdown complete")
+	slog.Info("shutdown complete")
 	return nil
+}
+
+// serveMetrics starts the observability HTTP listener: /metrics renders the
+// server-wide snapshot in the Prometheus text exposition format, and
+// /debug/pprof/ exposes the standard Go profiler endpoints (a custom mux, so
+// nothing else leaks onto the default one).
+func serveMetrics(srv *server.Server, addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := srv.ObsSnapshot().WritePrometheus(w); err != nil {
+			slog.Warn("metrics write failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	slog.Info("metrics listening", "addr", hs.Addr)
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			slog.Warn("metrics server stopped", "err", err)
+		}
+	}()
+	return hs, nil
 }
 
 func serveConn(srv *server.Server, conn net.Conn) {
@@ -198,7 +271,7 @@ func serveConn(srv *server.Server, conn net.Conn) {
 	// No detach on connection close: the session stays resumable by its
 	// token (idle eviction reclaims its memory; the journal keeps it
 	// resumable). An explicit {"op":"detach"} forgets it.
-	log.Printf("dvms-serve: session %d attached (%s)", sess.ID(), conn.RemoteAddr())
+	slog.Info("connection open", "session", sess.ID(), "remote", conn.RemoteAddr().String())
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	for sc.Scan() {
@@ -219,7 +292,7 @@ func serveConn(srv *server.Server, conn net.Conn) {
 		// line budget); tell the client why instead of silently hanging up.
 		protocol.WriteResponse(conn, protocol.Response{Error: "line too long"})
 	}
-	log.Printf("dvms-serve: session %d connection closed", sess.ID())
+	slog.Info("connection closed", "session", sess.ID())
 }
 
 // handle serves one request line. The second return value is non-nil when
@@ -286,7 +359,19 @@ func handle(srv *server.Server, sess *server.Session, line []byte) (protocol.Res
 			return protocol.Response{Error: err.Error()}, nil
 		}
 		server := srv.Stats()
-		return protocol.Response{OK: true, Session: sess.ID(), Stats: &st, Server: &server}, nil
+		resp := protocol.Response{OK: true, Session: sess.ID(), Stats: &st, Server: &server}
+		if o, err := sess.Obs(); err == nil {
+			resp.Obs = &o
+		}
+		so := srv.ObsSnapshot()
+		resp.ServerObs = &so
+		return resp, nil
+	case "trace":
+		trs, err := sess.Traces(req.Slow)
+		if err != nil {
+			return protocol.Response{Error: err.Error()}, nil
+		}
+		return protocol.Response{OK: true, Session: sess.ID(), Traces: trs}, nil
 	default:
 		return protocol.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}, nil
 	}

@@ -4,7 +4,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"strings"
 	"sync"
 	"testing"
 
@@ -157,4 +160,138 @@ func TestProtocolSessions(t *testing.T) {
 		t.Fatalf("unknown op should error, got %+v", resp)
 	}
 	c1.must(`{"op":"ping"}`)
+}
+
+// startObsTestServer is startTestServer with a 1ns latency budget so every
+// event lands in the slow log (exercising the trace op's slow filter).
+func startObsTestServer(t *testing.T) string {
+	t.Helper()
+	cfg := server.Config{}
+	cfg.Engine.LatencyBudget = 1 // 1ns: every event is slow
+	srv, err := server.New(cfg, experiments.BuildIVMCrossfilterProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InsertRows("Sales", experiments.IVMSalesTuples(500, 7)); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serveConn(srv, conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestStatsAndTraceOps drives a brush and checks the stats op carries the
+// session and server-wide metrics snapshots and the trace op returns the
+// event traces (full ring and slow-only).
+func TestStatsAndTraceOps(t *testing.T) {
+	addr := startObsTestServer(t)
+	c := dialClient(t, addr)
+	c.brush(2)
+
+	st := c.must(`{"op":"stats"}`)
+	if st.Obs == nil || st.ServerObs == nil {
+		t.Fatalf("stats response missing obs snapshots: %+v", st)
+	}
+	ev, ok := st.Obs.Histograms["dvms_event_seconds"]
+	if !ok || ev.Count == 0 {
+		t.Fatalf("session snapshot recorded no events: %+v", st.Obs.Histograms)
+	}
+	sev, ok := st.ServerObs.Histograms["dvms_event_seconds"]
+	if !ok || sev.Count < ev.Count {
+		t.Fatalf("server-wide merge (%d events) should cover the session (%d)", sev.Count, ev.Count)
+	}
+	if st.ServerObs.Gauges["dvms_sessions"] != 1 {
+		t.Fatalf("dvms_sessions gauge = %v, want 1", st.ServerObs.Gauges["dvms_sessions"])
+	}
+	if st.ServerObs.Counters["dvms_sessions_attached_total"] == 0 {
+		t.Fatalf("server counters missing from merge: %+v", st.ServerObs.Counters)
+	}
+
+	full := c.must(`{"op":"trace"}`)
+	if len(full.Traces) == 0 {
+		t.Fatalf("trace op returned no traces")
+	}
+	var withSpans int
+	for _, tr := range full.Traces {
+		if len(tr.Spans) > 0 {
+			withSpans++
+		}
+	}
+	if withSpans == 0 {
+		t.Fatalf("no trace carries stage spans: %+v", full.Traces)
+	}
+
+	slow := c.must(`{"op":"trace","slow":true}`)
+	if len(slow.Traces) == 0 || len(slow.Traces) > len(full.Traces) {
+		t.Fatalf("slow filter wrong: %d slow vs %d total", len(slow.Traces), len(full.Traces))
+	}
+	for _, tr := range slow.Traces {
+		if !tr.Slow {
+			t.Fatalf("slow-only listing contains a fast trace: %+v", tr)
+		}
+	}
+}
+
+// TestMetricsEndpoint checks the -metrics-addr HTTP surface: /metrics serves
+// the Prometheus text exposition of the server-wide snapshot and the pprof
+// index responds.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, err := server.New(server.Config{}, experiments.BuildIVMCrossfilterProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InsertRows("Sales", experiments.IVMSalesTuples(200, 7)); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := serveMetrics(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close() })
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + ms.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("wrong exposition content type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE dvms_event_seconds summary",
+		"dvms_sessions 0",
+		"dvms_sessions_attached_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index looks wrong:\n%.200s", body)
+	}
 }

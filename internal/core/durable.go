@@ -27,6 +27,9 @@ func (e *Engine) AttachWAL(l *wal.Log) {
 	defer e.mu.Unlock()
 	e.store.sink = func(r wal.Record) { _ = l.Append(r) }
 	l.SetCheckpointFunc(e.store.walCheckpoint)
+	// Route the log's append/fsync latency histograms into this engine's
+	// metrics registry (nil registry on the DisableObs arm disables them).
+	l.SetObs(e.obs.Registry())
 }
 
 // DetachWAL stops logging (used by graceful shutdown after the final seal).

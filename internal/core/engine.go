@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/events"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/relation"
@@ -44,6 +46,15 @@ type Config struct {
 	// This is the ablation arm of the fusion benchmark; leave false for
 	// normal operation.
 	DisableFusion bool
+	// DisableObs turns off the latency-observability layer (per-stage
+	// histograms, event traces, the slow-event log): the ablation arm of the
+	// obs overhead gate. Leave false for normal operation — the layer costs
+	// a few time.Now calls and one small allocation per event.
+	DisableObs bool
+	// LatencyBudget is the per-event latency budget: events whose end-to-end
+	// handling exceeds it retain their full stage breakdown in the slow-event
+	// log. Default obs.DefaultBudget (100 ms, the perceptual brushing budget).
+	LatencyBudget time.Duration
 }
 
 // TxnEvent describes how one fed input event advanced the interaction
@@ -96,6 +107,13 @@ type Engine struct {
 
 	img      *render.Image
 	warnings []string
+
+	// obs is the latency-observability recorder (nil when cfg.DisableObs —
+	// every obs call is nil-safe and free on that arm). curTrace is the
+	// in-flight event's trace; the engine lock serializes feedEvent, so a
+	// plain field is race-free.
+	obs      *obs.Recorder
+	curTrace *obs.Trace
 
 	// stats for benchmarks and EXPERIMENTS.md. Direct field access is only
 	// safe single-threaded; concurrent hosts use StatsSnapshot/ResetStats.
@@ -188,8 +206,53 @@ func New(cfg Config) *Engine {
 	}
 	// The store counts its versioning work straight into the engine stats.
 	e.store.stats = &e.Stats.Versioning
+	if !cfg.DisableObs {
+		e.obs = obs.NewRecorder(cfg.LatencyBudget)
+		e.registerStatGauges()
+	}
 	return e
 }
+
+// registerStatGauges migrates the engine's Stats counters onto the obs
+// registry: every counter (and the tile/store byte gauges) is readable
+// through the one metrics surface instead of living beside it. The gauge
+// callbacks run at snapshot/exposition time only and take the engine lock
+// themselves — never call Registry.Snapshot while holding e.mu.
+func (e *Engine) registerStatGauges() {
+	reg := e.obs.Registry()
+	snap := func(read func(Stats) int64) func() float64 {
+		return func() float64 { return float64(read(e.StatsSnapshot())) }
+	}
+	for name, read := range map[string]func(Stats) int64{
+		"dvms_view_recomputes_total":    func(s Stats) int64 { return int64(s.ViewRecomputes) },
+		"dvms_render_passes_total":      func(s Stats) int64 { return int64(s.RenderPasses) },
+		"dvms_render_skips_total":       func(s Stats) int64 { return int64(s.RenderSkips) },
+		"dvms_events_fed_total":         func(s Stats) int64 { return int64(s.EventsFed) },
+		"dvms_events_filtered_total":    func(s Stats) int64 { return int64(s.EventsFiltered) },
+		"dvms_commits_total":            func(s Stats) int64 { return int64(s.Commits) },
+		"dvms_aborts_total":             func(s Stats) int64 { return int64(s.Aborts) },
+		"dvms_delta_applies_total":      func(s Stats) int64 { return int64(s.ViewDeltaApplies) },
+		"dvms_delta_rows_in_total":      func(s Stats) int64 { return int64(s.DeltaRowsIn) },
+		"dvms_delta_rows_out_total":     func(s Stats) int64 { return int64(s.DeltaRowsOut) },
+		"dvms_full_fallbacks_total":     func(s Stats) int64 { return int64(s.FullFallbacks) },
+		"dvms_empty_delta_skips_total":  func(s Stats) int64 { return int64(s.EmptyDeltaSkips) },
+		"dvms_cube_builds_total":        func(s Stats) int64 { return s.Cube.Builds },
+		"dvms_cube_hits_total":          func(s Stats) int64 { return s.Cube.Hits },
+		"dvms_cube_fallbacks_total":     func(s Stats) int64 { return s.Cube.Fallbacks },
+		"dvms_tile_bytes":               func(s Stats) int64 { return s.Cube.TileBytes },
+		"dvms_exec_batch_rows_total":    func(s Stats) int64 { return s.Exec.BatchRows },
+		"dvms_exec_fused_applies_total": func(s Stats) int64 { return s.Exec.FusedApplies },
+		"dvms_exec_row_fallbacks_total": func(s Stats) int64 { return s.Exec.RowFallbacks },
+	} {
+		reg.SetGaugeFunc(name, snap(read))
+	}
+	reg.SetGaugeFunc("dvms_store_bytes", func() float64 { return float64(e.ApproxBytes()) })
+}
+
+// Obs exposes the engine's latency recorder (nil when DisableObs). The
+// recorder is internally synchronized; hosts snapshot and read traces from
+// any goroutine.
+func (e *Engine) Obs() *obs.Recorder { return e.obs }
 
 // Funcs exposes the engine's UDF registry so hosts can register pure scalar
 // functions before loading programs.
@@ -709,6 +772,8 @@ func (e *Engine) preparedFor(v *view) (*exec.Prepared, error) {
 	if v.prepared != nil {
 		return v.prepared, nil
 	}
+	tPrep := e.obs.Now()
+	defer func() { e.obs.Span(e.curTrace, obs.StagePrepare, v.name, "", tPrep, 0, 0) }()
 	p, err := plan.Build(v.query, e.catalog())
 	if err != nil {
 		return nil, err
@@ -856,10 +921,12 @@ func (e *Engine) refresh(changes map[string]*relation.Delta) error {
 			}
 			continue
 		}
-		if out, handled, err := e.tryDelta(v, changes); err != nil {
+		tView := e.obs.Now()
+		if out, path, rowsIn, handled, err := e.tryDelta(v, changes); err != nil {
 			return fmt.Errorf("view %s: %w", v.name, err)
 		} else if handled {
 			changes[k] = out
+			e.obs.Span(e.curTrace, obs.StageDelta, v.name, path, tView, rowsIn, deltaLen(out))
 			continue
 		}
 		// Full fallback: recompute. recomputeView diffs old vs new while
@@ -871,8 +938,17 @@ func (e *Engine) refresh(changes map[string]*relation.Delta) error {
 		}
 		e.Stats.FullFallbacks++
 		changes[k] = d
+		e.obs.Span(e.curTrace, obs.StageDelta, v.name, obs.PathFallback, tView, 0, deltaLen(d))
 	}
 	return e.renderIfDirty(changes)
+}
+
+// deltaLen is a nil-tolerant Delta.Len (a nil delta marks an unknown change).
+func deltaLen(d *relation.Delta) int {
+	if d == nil {
+		return 0
+	}
+	return d.Len()
 }
 
 // dirtiness reports whether the view must update given the changes. The
@@ -905,21 +981,23 @@ func (e *Engine) dirtiness(v *view, changes map[string]*relation.Delta) (dirty, 
 // changed inputs' deltas through the view's primed stateful pipeline and
 // patches the materialized relation with the output delta. handled reports
 // whether the view was updated this way (out is its output delta, which may
-// be empty). A delta-application failure is not an error: the pipeline
-// resets and the caller falls back to full recomputation.
-func (e *Engine) tryDelta(v *view, changes map[string]*relation.Delta) (out *relation.Delta, handled bool, err error) {
+// be empty); path names how the update was computed (cube tiles, fused
+// streaming, or the row-at-a-time apply) and rowsIn the change rows
+// consumed — both feed the view's delta span in the event trace. A
+// delta-application failure is not an error: the pipeline resets and the
+// caller falls back to full recomputation.
+func (e *Engine) tryDelta(v *view, changes map[string]*relation.Delta) (out *relation.Delta, path string, rowsIn int, handled bool, err error) {
 	if e.cfg.EagerProvenance || v.isTrace {
-		return nil, false, nil
+		return nil, "", 0, false, nil
 	}
 	prep, err := e.preparedFor(v)
 	if err != nil {
-		return nil, false, err
+		return nil, "", 0, false, err
 	}
 	if !prep.DeltaSafe() || !prep.Primed() {
-		return nil, false, nil
+		return nil, "", 0, false, nil
 	}
 	in := make(map[string]relation.Delta)
-	rowsIn := 0
 	for _, d := range v.deps {
 		if !d.live() {
 			continue
@@ -930,30 +1008,33 @@ func (e *Engine) tryDelta(v *view, changes map[string]*relation.Delta) (out *rel
 			continue
 		}
 		if cd == nil {
-			return nil, false, nil // unknown change: must recompute
+			return nil, "", 0, false, nil // unknown change: must recompute
 		}
 		in[dk] = *cd
 		rowsIn += cd.Len()
 	}
 	od, err := e.executor().ApplyDelta(prep, in)
 	if err != nil {
-		return nil, false, nil // state reset inside; fall back to recompute
+		return nil, "", 0, false, nil // state reset inside; fall back to recompute
 	}
 	rel, err := e.store.Get(v.name)
 	if err != nil {
-		return nil, false, err
+		return nil, "", 0, false, err
 	}
 	if err := rel.ApplyDelta(od); err != nil {
 		// Materialized contents out of sync with the pipeline (host
 		// mutation?); re-prime via full recompute.
 		prep.ResetState()
-		return nil, false, nil
+		return nil, "", 0, false, nil
 	}
 	if prep.Ordered() {
 		// ORDER BY views: the bag patch above verified consistency, but row
 		// order carries meaning — replace the rows with the pipeline's
-		// maintained order (O(k) for top-k prefixes).
+		// maintained order (O(k) for top-k prefixes). The sort span nests
+		// inside the view's delta span (documented in OBSERVABILITY.md).
+		tSort := e.obs.Now()
 		rel.Rows = prep.OrderedRows()
+		e.obs.Span(e.curTrace, obs.StageSort, v.name, "", tSort, 0, len(rel.Rows))
 	}
 	e.store.recordChange(v.name, od)
 	e.Stats.ViewDeltaApplies++
@@ -966,29 +1047,44 @@ func (e *Engine) tryDelta(v *view, changes map[string]*relation.Delta) (out *rel
 		e.Stats.TopK.PrefixEmits += ts.PrefixEmits
 		e.Stats.TopK.Evictions += ts.Evictions
 	}
-	e.drainCubeStats(prep)
-	e.drainExecStats(prep)
-	return &od, true, nil
+	cs := e.drainCubeStats(prep)
+	es := e.drainExecStats(prep)
+	// Classify the apply for the trace: tiles answered it, a fused stream
+	// consumed it, or it walked the row-at-a-time path.
+	switch {
+	case cs.Hits > 0 || cs.Builds > 0:
+		path = obs.PathCube
+	case es.FusedApplies > 0:
+		path = obs.PathFused
+	default:
+		path = obs.PathRow
+	}
+	return &od, path, rowsIn, true, nil
 }
 
 // drainCubeStats folds a pipeline's cube counters into the engine stats
-// (Fallbacks and the TileBytes gauge are engine-level, never drained).
-func (e *Engine) drainCubeStats(prep *exec.Prepared) {
-	if cs := prep.TakeCubeStats(); cs != (exec.CubeStats{}) {
+// (Fallbacks and the TileBytes gauge are engine-level, never drained) and
+// returns the drained batch so callers can classify the apply path.
+func (e *Engine) drainCubeStats(prep *exec.Prepared) exec.CubeStats {
+	cs := prep.TakeCubeStats()
+	if cs != (exec.CubeStats{}) {
 		e.Stats.Cube.Builds += cs.Builds
 		e.Stats.Cube.Hits += cs.Hits
 		e.Stats.Cube.BinsAnswered += cs.BinsAnswered
 	}
+	return cs
 }
 
 // drainExecStats folds a pipeline's fused/columnar counters into the engine
-// stats.
-func (e *Engine) drainExecStats(prep *exec.Prepared) {
-	if es := prep.TakeExecStats(); es != (exec.ExecStats{}) {
+// stats, returning the drained batch.
+func (e *Engine) drainExecStats(prep *exec.Prepared) exec.ExecStats {
+	es := prep.TakeExecStats()
+	if es != (exec.ExecStats{}) {
 		e.Stats.Exec.BatchRows += es.BatchRows
 		e.Stats.Exec.FusedApplies += es.FusedApplies
 		e.Stats.Exec.RowFallbacks += es.RowFallbacks
 	}
+	return es
 }
 
 // renderIfDirty re-renders only when a sink's contents changed in this
@@ -1068,6 +1164,8 @@ func (e *Engine) render() error {
 	if !e.anySink() {
 		return nil
 	}
+	tRender := e.obs.Now()
+	defer func() { e.obs.Span(e.curTrace, obs.StageRender, "", "", tRender, 0, 0) }()
 	e.Stats.RenderPasses++
 	e.img.Clear()
 	for _, name := range e.viewOrder {
@@ -1111,9 +1209,21 @@ func (e *Engine) feedEvent(ev events.Event) (TxnEvent, error) {
 	e.guardRestoreBarrier()
 	e.Stats.EventsFed++
 	var out TxnEvent
+	// Open the event trace: every stage below records a span, the total
+	// lands in dvms_event_seconds, and over-budget events keep their full
+	// breakdown in the slow log. All obs calls are nil-safe no-ops on the
+	// DisableObs arm.
+	tr := e.obs.StartEvent(ev.Type)
+	e.curTrace = tr
+	defer func() {
+		e.curTrace = nil
+		e.obs.EndEvent(tr, out.Interaction)
+	}()
 	consumed := false
 	for _, rec := range e.recognizers {
+		tRec := e.obs.Now()
 		acts, err := rec.Feed(ev)
+		e.obs.Span(tr, obs.StageRecognize, rec.Name(), "", tRec, 0, len(acts.Rows))
 		if err != nil {
 			return out, err
 		}
@@ -1156,6 +1266,10 @@ func (e *Engine) feedEvent(ev events.Event) (TxnEvent, error) {
 				return out, err
 			}
 		}
+		// The commit span covers the version-boundary seal — and with a WAL
+		// attached, the store sink's append (and under -fsync always, the
+		// fsync) runs inside it, so durable serving shows up in the trace.
+		tSeal := e.obs.Now()
 		switch {
 		case acts.Committed:
 			out.Committed = true
@@ -1171,6 +1285,7 @@ func (e *Engine) feedEvent(ev events.Event) (TxnEvent, error) {
 		default:
 			e.store.MarkEvent()
 		}
+		e.obs.Span(tr, obs.StageCommit, rec.Name(), "", tSeal, 0, 0)
 	}
 	if !consumed {
 		e.Stats.EventsFiltered++

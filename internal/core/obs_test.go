@@ -1,0 +1,169 @@
+package core
+
+// Integration tests for the observability layer at the engine level: stage
+// spans name the actual work done per event, slow events retain their full
+// breakdown, and the DisableObs ablation arm is truly dark.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestEventTraceStages forces every event slow (1ns budget) and checks the
+// retained traces break each event into the stages the engine actually ran:
+// recognize, per-view delta spans labelled with the path taken, commit — and
+// that the span durations account for (approximately) the event latency.
+func TestEventTraceStages(t *testing.T) {
+	e := loadBrushing(t, Config{LatencyBudget: time.Nanosecond})
+	outs, err := e.FeedStream(selectDrag(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outs[len(outs)-1].Committed {
+		t.Fatalf("drag should commit, got %+v", outs)
+	}
+
+	slow := e.Obs().SlowEvents()
+	if len(slow) != len(selectDrag(1)) {
+		t.Fatalf("1ns budget should mark every event slow: got %d of %d", len(slow), len(selectDrag(1)))
+	}
+	if got := e.Obs().Snapshot().Counters["dvms_slow_events_total"]; got != int64(len(slow)) {
+		t.Fatalf("slow counter %d != slow log length %d", got, len(slow))
+	}
+
+	// The MOUSE_UP event commits the interaction: its trace must carry the
+	// compound event table name and the commit-stage span.
+	last := slow[len(slow)-1]
+	if last.Event != "MOUSE_UP" || last.Interaction != "C" || !last.Slow {
+		t.Fatalf("commit trace wrong identity: %+v", last)
+	}
+	var commits int
+	for _, sp := range last.Spans {
+		if sp.Stage == obs.StageCommit {
+			commits++
+		}
+	}
+	if commits != 1 {
+		t.Fatalf("commit trace should carry one commit span: %+v", last.Spans)
+	}
+
+	// The drag's MOVE events drive delta propagation: find a trace with
+	// delta spans and check each names its view and the path taken, and that
+	// span durations account for (approximately) the event latency.
+	var deltaTrace *obs.Trace
+	for i := range slow {
+		for _, sp := range slow[i].Spans {
+			if sp.Stage == obs.StageDelta {
+				deltaTrace = &slow[i]
+			}
+		}
+	}
+	if deltaTrace == nil {
+		t.Fatalf("no trace recorded a delta span: %+v", slow)
+	}
+	stages := map[string]int{}
+	paths := map[string]int{}
+	var spanSum float64
+	for _, sp := range deltaTrace.Spans {
+		stages[sp.Stage]++
+		if sp.Stage == obs.StageDelta {
+			switch sp.Path {
+			case obs.PathCube, obs.PathFused, obs.PathRow, obs.PathFallback:
+				paths[sp.Path]++
+			default:
+				t.Fatalf("delta span with unknown path %q: %+v", sp.Path, sp)
+			}
+			if sp.View == "" {
+				t.Fatalf("delta span missing view name: %+v", sp)
+			}
+		}
+		if sp.DurUS < 0 {
+			t.Fatalf("negative span duration: %+v", sp)
+		}
+		spanSum += sp.DurUS
+	}
+	if stages[obs.StageRecognize] == 0 {
+		t.Fatalf("delta trace missing recognize stage: %v", stages)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no delta paths classified in %+v", deltaTrace.Spans)
+	}
+	// Spans should account for most of the event: the gap is untimed glue,
+	// and the only double count is the sort span nesting inside its view's
+	// delta span (see OBSERVABILITY.md), so the sum stays near TotalUS.
+	if deltaTrace.TotalUS <= 0 || spanSum <= 0 || spanSum > 2*deltaTrace.TotalUS {
+		t.Fatalf("span durations %v µs inconsistent with event total %v µs", spanSum, deltaTrace.TotalUS)
+	}
+
+	// Stage histograms saw the same events the traces did.
+	snap := e.Obs().Snapshot()
+	if ev := snap.Histograms["dvms_event_seconds"]; ev.Count != int64(len(outs)) {
+		t.Fatalf("event histogram count %d, want %d", ev.Count, len(outs))
+	}
+	if c := snap.Histograms["dvms_stage_commit_seconds"]; c.Count == 0 {
+		t.Fatalf("commit stage histogram empty: %v", snap.Histograms)
+	}
+}
+
+// TestTraceRingRetention checks the recent-trace ring holds every event of a
+// short session (not only slow ones) under the default budget.
+func TestTraceRingRetention(t *testing.T) {
+	e := loadBrushing(t, Config{})
+	if _, err := e.FeedStream(selectDrag(1)); err != nil {
+		t.Fatal(err)
+	}
+	traces := e.Obs().Traces()
+	if len(traces) != len(selectDrag(1)) {
+		t.Fatalf("trace ring holds %d, want %d", len(traces), len(selectDrag(1)))
+	}
+	for _, tr := range traces {
+		if tr.Slow {
+			t.Fatalf("default 100ms budget marked a µs-scale event slow: %+v", tr)
+		}
+	}
+	if len(e.Obs().SlowEvents()) != 0 {
+		t.Fatalf("slow log should be empty under the default budget")
+	}
+}
+
+// TestDisableObsDark checks the ablation arm: no recorder, no gauges, and
+// the event path still works identically.
+func TestDisableObsDark(t *testing.T) {
+	e := loadBrushing(t, Config{DisableObs: true})
+	if e.Obs() != nil {
+		t.Fatalf("DisableObs engine still carries a recorder")
+	}
+	outs, err := e.FeedStream(selectDrag(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outs[len(outs)-1].Committed {
+		t.Fatalf("drag should commit with obs disabled, got %+v", outs)
+	}
+	// Nil-safe surface: every accessor degrades to zero values.
+	if e.Obs().Traces() != nil || e.Obs().SlowEvents() != nil || e.Obs().Budget() != 0 {
+		t.Fatalf("nil recorder accessors should return zero values")
+	}
+	if snap := e.Obs().Snapshot(); len(snap.Histograms) != 0 || len(snap.Gauges) != 0 {
+		t.Fatalf("nil recorder snapshot should be empty, got %+v", snap)
+	}
+}
+
+// TestStatGauges checks the engine's legacy counters surface as registry
+// gauges (the Stats struct migrated onto the obs registry as callbacks).
+func TestStatGauges(t *testing.T) {
+	e := loadBrushing(t, Config{})
+	if _, err := e.FeedStream(selectDrag(1)); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Obs().Snapshot()
+	if snap.Gauges["dvms_events_fed_total"] != float64(len(selectDrag(1))) {
+		t.Fatalf("dvms_events_fed_total gauge = %v, want %d (gauges: %v)",
+			snap.Gauges["dvms_events_fed_total"], len(selectDrag(1)), snap.Gauges)
+	}
+	if snap.Gauges["dvms_store_bytes"] <= 0 {
+		t.Fatalf("dvms_store_bytes gauge missing: %v", snap.Gauges)
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+// The observability-overhead workload: the cube crossfilter program brushed
+// in steady state with the obs layer enabled (per-stage histograms, event
+// traces, slow log) against the identical program with Config.DisableObs —
+// the ISSUE 10 acceptance criterion is that instrumentation costs ≤ 5%
+// per event on the fastest (cube) path, where fixed per-event overhead is
+// proportionally largest. The arms are interleaved and scored by their best
+// rep, so machine noise cancels rather than accumulating into one arm.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ObsOverhead measures steady-state brush latency per event with latency
+// observability on vs off at each base size, verifying the enabled arm
+// actually recorded (event histogram populated, the cube delta path named)
+// and reporting its latency quantiles alongside the overhead ratio. The
+// largest size also renders the enabled arm's full metrics snapshot in the
+// Prometheus text format.
+func ObsOverhead(sizes []int, drags int, seed int64) (Result, error) {
+	var b strings.Builder
+	b.WriteString("Observability overhead — steady brush µs/event, instrumented vs DisableObs\n")
+	fmt.Fprintf(&b, "(cube crossfilter, %d charts, repeated %d-event drags, best of interleaved reps)\n\n", len(IVMDims), len(CubeDragStream(1)))
+	stats := map[string]int64{}
+	var exposition string
+	for _, n := range sizes {
+		var engines [2]*core.Engine // [instrumented, DisableObs]
+		for arm, disable := range []bool{false, true} {
+			e, err := NewCubeEngine(n, seed, core.Config{DisableObs: disable})
+			if err != nil {
+				return Result{}, err
+			}
+			// Warm drags: prime the pipelines and build the cube tiles so the
+			// measured loop is pure steady-state brushing.
+			if _, err := e.FeedStream(CubeDragStream(2)); err != nil {
+				return Result{}, err
+			}
+			engines[arm] = e
+		}
+		steady := CubeDragStream(min(drags, 3))
+		best := [2]float64{math.MaxFloat64, math.MaxFloat64}
+		// Per-event cost is ~60µs so a single 21-event stream is a ~1.3ms
+		// window — too short against scheduler/GC jitter (±5% rep to rep on
+		// a shared machine). Each timed rep therefore feeds the stream
+		// streamsPerRep times, the heap is levelled with a forced GC before
+		// each rep pair, and the arm order alternates so ordering effects
+		// (cache state, GC debt from the previous arm's allocations) cancel
+		// instead of consistently taxing one side. Scoring is floor vs floor:
+		// timing noise here is one-sided (preemption, steal, GC pauses only
+		// ever ADD time), so with enough reps each arm's minimum converges on
+		// its true cost and the ratio of minima is the clean overhead
+		// estimate — the same thing a long-benchtime Go benchmark converges
+		// to, where this workload measures ~2%.
+		const reps, streamsPerRep = 20, 6
+		for r := 0; r < reps; r++ {
+			order := [2]int{0, 1}
+			if r%2 == 1 {
+				order = [2]int{1, 0}
+			}
+			runtime.GC()
+			for _, arm := range order {
+				e := engines[arm]
+				start := time.Now()
+				for k := 0; k < streamsPerRep; k++ {
+					if _, err := e.FeedStream(steady); err != nil {
+						return Result{}, err
+					}
+				}
+				us := float64(time.Since(start).Microseconds()) / float64(streamsPerRep*len(steady))
+				if us < best[arm] {
+					best[arm] = us
+				}
+			}
+		}
+		overhead := best[0] / best[1]
+		// The ablation arm must be truly dark and the instrumented arm must
+		// have both measured the events and classified their delta path.
+		if engines[1].Obs() != nil {
+			return Result{}, fmt.Errorf("DisableObs arm still carries a recorder")
+		}
+		snap := engines[0].Obs().Snapshot()
+		ev, ok := snap.Histograms["dvms_event_seconds"]
+		if !ok || ev.Count == 0 {
+			return Result{}, fmt.Errorf("instrumented arm recorded no events")
+		}
+		cube, ok := snap.Histograms["dvms_stage_delta_cube_seconds"]
+		if !ok || cube.Count == 0 {
+			return Result{}, fmt.Errorf("steady cube brushing produced no cube-path delta spans: %v", snap.Histograms)
+		}
+		fmt.Fprintf(&b, "%8d rows: obs %8.1f µs/event   off %8.1f µs/event   overhead %5.2fx   (recorded %d events: p50 %.0fµs p95 %.0fµs p99 %.0fµs)\n",
+			n, best[0], best[1], overhead, ev.Count, ev.P50, ev.P95, ev.P99)
+		stats[fmt.Sprintf("n%d_obs_us_per_event", n)] = int64(best[0])
+		stats[fmt.Sprintf("n%d_noobs_us_per_event", n)] = int64(best[1])
+		stats[fmt.Sprintf("n%d_overhead_x100", n)] = int64(math.Round(overhead * 100))
+		stats[fmt.Sprintf("n%d_events_recorded", n)] = ev.Count
+		stats[fmt.Sprintf("n%d_event_p50_us", n)] = int64(ev.P50)
+		stats[fmt.Sprintf("n%d_event_p95_us", n)] = int64(ev.P95)
+		stats[fmt.Sprintf("n%d_event_p99_us", n)] = int64(ev.P99)
+		stats[fmt.Sprintf("n%d_slow_events", n)] = snap.Counters["dvms_slow_events_total"]
+		var exp strings.Builder
+		if err := snap.WritePrometheus(&exp); err != nil {
+			return Result{}, err
+		}
+		exposition = exp.String() // keep the largest size's snapshot
+	}
+	b.WriteString("\nEvery event opens a trace; each stage (recognize, per-view delta with its\npath label, sort, render, commit) is two clock reads plus a handful of\natomic adds into a log2-bucketed histogram, so the fixed cost is sub-µs\nagainst a ~70µs cube brush event. The DisableObs arm carries a nil\nrecorder: every instrumentation call is an inlined nil-check no-op.\n")
+	b.WriteString("\nInstrumented arm metrics snapshot (Prometheus text exposition):\n\n")
+	b.WriteString(exposition)
+	return Result{ID: "obs", Title: "Observability overhead (stage histograms + event traces)", Output: b.String(), Stats: stats}, nil
+}

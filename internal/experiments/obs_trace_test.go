@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestForcedSlowCubeTrace is the ISSUE 10 acceptance check: force every
+// event over the budget (1ns) on the cube crossfilter workload and verify
+// the slow log's traces name the path the engine actually took — the
+// cube-tile path for steady brush moves — with per-stage durations that
+// account for the event latency.
+func TestForcedSlowCubeTrace(t *testing.T) {
+	e, err := NewCubeEngine(2000, 7, core.Config{LatencyBudget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First drag builds the tiles; the second brushes them in steady state.
+	if _, err := e.FeedStream(CubeDragStream(2)); err != nil {
+		t.Fatal(err)
+	}
+	slow := e.Obs().SlowEvents()
+	if len(slow) == 0 {
+		t.Fatal("1ns budget recorded no slow events")
+	}
+	var cubeSpans int
+	for _, tr := range slow {
+		var spanSum float64
+		for _, sp := range tr.Spans {
+			spanSum += sp.DurUS
+			if sp.Stage == obs.StageDelta && sp.Path == obs.PathCube {
+				cubeSpans++
+				if sp.View == "" {
+					t.Fatalf("cube delta span missing view: %+v", sp)
+				}
+			}
+		}
+		// The sort span nests inside its view's delta span (the one known
+		// double count), so the span sum stays within ~2x of the total.
+		if tr.TotalUS <= 0 || spanSum > 2*tr.TotalUS {
+			t.Fatalf("span sum %v µs vs total %v µs: %+v", spanSum, tr.TotalUS, tr)
+		}
+	}
+	if cubeSpans == 0 {
+		t.Fatalf("steady cube brushing produced no cube-path spans in %d slow traces", len(slow))
+	}
+	// The histogram agrees with the traces about the path taken.
+	if c := e.Obs().Snapshot().Histograms["dvms_stage_delta_cube_seconds"]; c.Count == 0 {
+		t.Fatal("cube-path stage histogram empty despite cube-path spans")
+	}
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantileVsSortedOracle drives the histogram with several latency
+// distributions and checks every quantile estimate against the exact sorted-
+// slice quantile. Log buckets bound the error by the covering bucket's
+// width: the estimate must land within a factor of 2 of the oracle (and the
+// max must be exact).
+func TestQuantileVsSortedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() time.Duration{
+		// Uniform microseconds: the common stage-latency regime.
+		"uniform_us": func() time.Duration {
+			return time.Duration(1+rng.Intn(1000)) * time.Microsecond
+		},
+		// Log-normal-ish heavy tail: most events fast, a few very slow.
+		"heavy_tail": func() time.Duration {
+			ns := 1000 * (1 << rng.Intn(20))
+			return time.Duration(ns + rng.Intn(ns))
+		},
+		// Constant: every observation identical (degenerate buckets).
+		"constant": func() time.Duration { return 123456 * time.Nanosecond },
+	}
+	for name, gen := range dists {
+		var h Histogram
+		vals := make([]time.Duration, 0, 5000)
+		for i := 0; i < 5000; i++ {
+			d := gen()
+			vals = append(vals, d)
+			h.Observe(d)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		if s.Count != int64(len(vals)) {
+			t.Fatalf("%s: count = %d, want %d", name, s.Count, len(vals))
+		}
+		if s.MaxDur() != vals[len(vals)-1] {
+			t.Fatalf("%s: max = %v, want %v", name, s.MaxDur(), vals[len(vals)-1])
+		}
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+			idx := int(q*float64(len(vals))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			oracle := vals[idx]
+			got := s.Quantile(q)
+			lo, hi := oracle/2, oracle*2
+			if got < lo || got > hi {
+				t.Errorf("%s: q=%.2f estimate %v outside [%v, %v] (oracle %v)",
+					name, q, got, lo, hi, oracle)
+			}
+		}
+	}
+}
+
+// TestHistogramMerge checks that merging two snapshots equals observing both
+// streams into one histogram: bucket counts, count, sum, and max all match,
+// so per-session histograms aggregate to exactly the server-wide view.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, both Histogram
+	for i := 0; i < 2000; i++ {
+		d := time.Duration(rng.Intn(1 << 24))
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		both.Observe(d)
+	}
+	merged := a.Snapshot().Merge(b.Snapshot())
+	want := both.Snapshot()
+	if merged != want {
+		t.Fatalf("merge mismatch:\n merged %+v\n want   %+v", merged, want)
+	}
+}
+
+// TestConcurrentRecorders hammers one histogram and one registry from many
+// goroutines (run under -race in CI): total count and sum must account for
+// every observation, and concurrent snapshots must never panic or see
+// negative values.
+func TestConcurrentRecorders(t *testing.T) {
+	const goroutines, perG = 8, 5000
+	var h Histogram
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				d := time.Duration(rng.Intn(1 << 20))
+				h.Observe(d)
+				reg.Hist("dvms_stage_delta_cube_seconds").Observe(d)
+				reg.Counter("events").Add(1)
+			}
+		}(int64(g))
+	}
+	// Concurrent snapshot readers.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count < 0 || s.Sum < 0 {
+				panic("negative snapshot")
+			}
+			reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+	close(done)
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var bucketSum int64
+	for _, b := range s.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if got := reg.Counter("events").Value(); got != goroutines*perG {
+		t.Fatalf("registry counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestRecorderNilSafe proves the disabled arm is truly free of effects: a
+// nil recorder's whole surface is callable and inert.
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	tr := r.StartEvent("MOUSE_MOVE")
+	if tr != nil {
+		t.Fatal("nil recorder produced a trace")
+	}
+	r.Span(tr, StageDelta, "V", PathCube, r.Now(), 1, 1)
+	r.EndEvent(tr, "drag")
+	if r.Traces() != nil || r.SlowEvents() != nil || r.Registry() != nil {
+		t.Fatal("nil recorder retained state")
+	}
+	if s := r.Snapshot(); len(s.Histograms) != 0 {
+		t.Fatal("nil recorder snapshot not empty")
+	}
+}
+
+// TestSlowEventLog checks the budget gate: only events over budget enter the
+// slow log, with their full stage breakdown retained.
+func TestSlowEventLog(t *testing.T) {
+	r := NewRecorder(time.Millisecond)
+	// Fast event: under budget.
+	tr := r.StartEvent("MOUSE_MOVE")
+	r.Span(tr, StageDelta, "CHART", PathFused, r.Now(), 3, 2)
+	r.EndEvent(tr, "drag")
+	if len(r.SlowEvents()) != 0 {
+		t.Fatal("fast event entered the slow log")
+	}
+	// Slow event: sleep past the budget.
+	tr = r.StartEvent("MOUSE_MOVE")
+	st := r.Now()
+	time.Sleep(3 * time.Millisecond)
+	r.Span(tr, StageDelta, "CHART", PathFallback, st, 10, 5)
+	r.EndEvent(tr, "drag")
+	slow := r.SlowEvents()
+	if len(slow) != 1 {
+		t.Fatalf("slow log has %d entries, want 1", len(slow))
+	}
+	got := slow[0]
+	if !got.Slow || got.Interaction != "drag" || len(got.Spans) != 1 {
+		t.Fatalf("slow trace malformed: %+v", got)
+	}
+	if sp := got.Spans[0]; sp.Path != PathFallback || sp.View != "CHART" || sp.RowsIn != 10 || sp.RowsOut != 5 {
+		t.Fatalf("span fields lost: %+v", sp)
+	}
+	if got.TotalUS < 3000 {
+		t.Fatalf("total %.0fµs, want >= 3000", got.TotalUS)
+	}
+	if c := r.Registry().Counter("dvms_slow_events_total").Value(); c != 1 {
+		t.Fatalf("slow counter = %d, want 1", c)
+	}
+}
+
+// TestRingOverwrite checks the trace ring retains the newest N in order.
+func TestRingOverwrite(t *testing.T) {
+	r := newRing(4)
+	for i := 1; i <= 10; i++ {
+		r.add(Trace{ID: int64(i)})
+	}
+	got := r.list()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(got))
+	}
+	for i, tr := range got {
+		if want := int64(7 + i); tr.ID != want {
+			t.Fatalf("ring[%d] = %d, want %d", i, tr.ID, want)
+		}
+	}
+}
+
+// TestPrometheusExposition spot-checks the text format: summary quantiles,
+// counter and gauge series, sorted stable output.
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Hist("dvms_event_seconds").Observe(2 * time.Millisecond)
+	reg.Counter("dvms_slow_events_total").Add(3)
+	reg.SetGaugeFunc("dvms_sessions", func() float64 { return 7 })
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dvms_event_seconds summary",
+		`dvms_event_seconds{quantile="0.5"}`,
+		"dvms_event_seconds_count 1",
+		"# TYPE dvms_slow_events_total counter",
+		"dvms_slow_events_total 3",
+		"# TYPE dvms_sessions gauge",
+		"dvms_sessions 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSnapshotMerge checks registry-level merge semantics across the three
+// metric kinds.
+func TestSnapshotMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Hist("h").Observe(time.Millisecond)
+	b.Hist("h").Observe(3 * time.Millisecond)
+	b.Hist("only_b").Observe(time.Second)
+	a.Counter("c").Add(2)
+	b.Counter("c").Add(5)
+	a.SetGaugeFunc("g", func() float64 { return 1 })
+	b.SetGaugeFunc("g", func() float64 { return 10 })
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Histograms["h"].Count != 2 {
+		t.Fatalf("merged h count = %d, want 2", m.Histograms["h"].Count)
+	}
+	if m.Histograms["only_b"].Count != 1 {
+		t.Fatal("one-sided histogram lost in merge")
+	}
+	if m.Counters["c"] != 7 {
+		t.Fatalf("merged counter = %d, want 7", m.Counters["c"])
+	}
+	if m.Gauges["g"] != 11 {
+		t.Fatalf("merged gauge = %g, want 11", m.Gauges["g"])
+	}
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter registered by name.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry holds named histograms, counters, and callback gauges. Lookup
+// creates on demand; hot-path callers cache the returned pointer and never
+// touch the registry lock again. Names are flat, lowercase, underscore-
+// separated (Prometheus-compatible); stage histograms follow
+// "dvms_stage_<stage>[_<path>]_seconds" (see OBSERVABILITY.md for the full
+// metric table).
+type Registry struct {
+	mu     sync.RWMutex
+	hists  map[string]*Histogram
+	counts map[string]*Counter
+	gauges map[string]func() float64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:  map[string]*Histogram{},
+		counts: map[string]*Counter{},
+		gauges: map[string]func() float64{},
+	}
+}
+
+// Hist returns the named histogram, creating it on first use.
+func (r *Registry) Hist(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counts[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counts[name]; c == nil {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// SetGaugeFunc installs (or replaces) a callback gauge: fn is invoked at
+// snapshot/exposition time, never on the hot path. fn must be safe to call
+// from any goroutine and must not call back into this registry.
+func (r *Registry) SetGaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// HistStat is one histogram's summary in a Snapshot, durations in
+// microseconds for readability on the wire.
+type HistStat struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_us"`
+	P95   float64 `json:"p95_us"`
+	P99   float64 `json:"p99_us"`
+	Max   float64 `json:"max_us"`
+	Mean  float64 `json:"mean_us"`
+	Sum   float64 `json:"sum_us"`
+
+	// Raw carries the mergeable bucket counts; omitted from JSON (the wire
+	// surface reports summaries) but kept so snapshots merge exactly.
+	Raw HistSnapshot `json:"-"`
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func histStat(s HistSnapshot) HistStat {
+	return HistStat{
+		Count: s.Count,
+		P50:   us(s.P50()),
+		P95:   us(s.P95()),
+		P99:   us(s.P99()),
+		Max:   us(s.MaxDur()),
+		Mean:  us(s.Mean()),
+		Sum:   float64(s.Sum) / 1e3,
+		Raw:   s,
+	}
+}
+
+// Snapshot is a point-in-time copy of a registry (histogram summaries,
+// counter values, gauge readings), mergeable across registries and JSON-
+// encodable for the line protocol's stats op.
+type Snapshot struct {
+	Histograms map[string]HistStat `json:"histograms,omitempty"`
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Gauges     map[string]float64  `json:"gauges,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	counts := make(map[string]*Counter, len(r.counts))
+	for k, v := range r.counts {
+		counts[k] = v
+	}
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	r.mu.RUnlock()
+
+	out := Snapshot{
+		Histograms: make(map[string]HistStat, len(hists)),
+		Counters:   make(map[string]int64, len(counts)),
+		Gauges:     make(map[string]float64, len(gauges)),
+	}
+	for k, h := range hists {
+		out.Histograms[k] = histStat(h.Snapshot())
+	}
+	for k, c := range counts {
+		out.Counters[k] = c.Value()
+	}
+	for k, fn := range gauges {
+		out.Gauges[k] = fn()
+	}
+	return out
+}
+
+// Merge folds another snapshot into this one: histograms merge bucket-wise,
+// counters and gauges sum. Used to aggregate per-session registries into the
+// server-wide view.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{
+		Histograms: make(map[string]HistStat, len(s.Histograms)+len(o.Histograms)),
+		Counters:   make(map[string]int64, len(s.Counters)+len(o.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)+len(o.Gauges)),
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = v
+	}
+	for k, v := range o.Histograms {
+		if cur, ok := out.Histograms[k]; ok {
+			out.Histograms[k] = histStat(cur.Raw.Merge(v.Raw))
+		} else {
+			out.Histograms[k] = v
+		}
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range o.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range o.Gauges {
+		out.Gauges[k] += v
+	}
+	return out
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: histograms as summaries (quantile series plus _sum/_count, seconds
+// as the unit), counters as counter series, gauges as gauge series. Names
+// are emitted verbatim; keep them exposition-safe at registration.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", k); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			q string
+			v time.Duration
+		}{
+			{"0.5", h.Raw.P50()},
+			{"0.95", h.Raw.P95()},
+			{"0.99", h.Raw.P99()},
+		} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %g\n", k, q.q, q.v.Seconds()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_max %g\n%s_sum %g\n%s_count %d\n",
+			k, time.Duration(h.Raw.Max).Seconds(), k, float64(h.Raw.Sum)/1e9, k, h.Count); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", k, k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", k, k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/server"
 )
@@ -17,7 +18,7 @@ import (
 // Request is one client line.
 type Request struct {
 	// Op selects the action: ping, event, relation, query, undo, stats,
-	// resume, detach.
+	// trace, resume, detach.
 	Op string `json:"op"`
 
 	// Token names a session for resume: the connection swaps its
@@ -38,6 +39,9 @@ type Request struct {
 	Name string `json:"name,omitempty"`
 	// query field.
 	Q string `json:"q,omitempty"`
+	// trace field: restrict the response to the slow-event log (events that
+	// exceeded the latency budget) instead of the full recent-trace ring.
+	Slow bool `json:"slow,omitempty"`
 }
 
 // Response is one server line. OK=false carries Error; the other fields
@@ -63,9 +67,16 @@ type Response struct {
 	Columns []string `json:"columns,omitempty"`
 	Rows    [][]any  `json:"rows,omitempty"`
 
-	// stats payload.
-	Stats  *core.Stats   `json:"stats,omitempty"`
-	Server *server.Stats `json:"server,omitempty"`
+	// stats payload. Obs is the requesting session's latency/metrics
+	// snapshot; ServerObs the server-wide merge (base engine + every
+	// session + server gauges). Both are empty-histogram under DisableObs.
+	Stats     *core.Stats   `json:"stats,omitempty"`
+	Server    *server.Stats `json:"server,omitempty"`
+	Obs       *obs.Snapshot `json:"obs,omitempty"`
+	ServerObs *obs.Snapshot `json:"serverObs,omitempty"`
+
+	// trace payload: the session's retained event traces, oldest first.
+	Traces []obs.Trace `json:"traces,omitempty"`
 }
 
 // ParseRequest decodes one request line.

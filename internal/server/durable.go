@@ -97,14 +97,43 @@ func (s *Server) journalAppend(rec wal.SessionRecord) {
 	}
 }
 
-// applyJournalLocked folds one record into the journal map. Caller holds jmu
-// or has exclusive access (constructor).
+// applyJournalLocked folds one record into the journal map, maintaining the
+// growth accounting (total entries/bytes plus per-token bytes so a forget
+// can subtract its share). Caller holds jmu or has exclusive access
+// (constructor).
 func (s *Server) applyJournalLocked(rec wal.SessionRecord) {
 	if rec.Op == wal.SessForget {
+		s.jEntries -= int64(len(s.journal[rec.Token]))
+		s.jBytes -= s.jBytesBy[rec.Token]
 		delete(s.journal, rec.Token)
+		delete(s.jBytesBy, rec.Token)
+		delete(s.jWarned, rec.Token)
 		return
 	}
 	s.journal[rec.Token] = append(s.journal[rec.Token], rec)
+	sz := int64(len(wal.EncodeRecord(&rec)))
+	s.jEntries++
+	s.jBytes += sz
+	s.jBytesBy[rec.Token] += sz
+	if warnAt := s.journalWarnAt(); warnAt > 0 && !s.jWarned[rec.Token] && len(s.journal[rec.Token]) >= warnAt {
+		// Once per token: journals grow without bound until the client
+		// detaches, and resume replays every retained record.
+		s.jWarned[rec.Token] = true
+		s.lg.Warn("session journal past growth threshold; resume replay cost grows with it",
+			"token", rec.Token, "entries", len(s.journal[rec.Token]), "bytes", s.jBytesBy[rec.Token])
+	}
+}
+
+// journalWarnAt resolves the configured warning threshold (0 = never warn).
+func (s *Server) journalWarnAt() int {
+	switch {
+	case s.cfg.JournalWarnEntries > 0:
+		return s.cfg.JournalWarnEntries
+	case s.cfg.JournalWarnEntries < 0:
+		return 0
+	default:
+		return defaultJournalWarn
+	}
 }
 
 // walCheckpoint wraps the base store's rotation snapshot with the session
@@ -196,6 +225,8 @@ func (s *Server) Resume(token string) (*Session, error) {
 	s.sessions[sess.id] = sess
 	s.byToken[token] = sess
 	s.resumed++
+	s.lg.Info("session resumed", "session", sess.id, "token", token,
+		"replayed", len(recs), "sessions", len(s.sessions))
 	return sess, nil
 }
 

@@ -22,6 +22,8 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,7 +47,16 @@ type Config struct {
 	// EvictIdle or by an over-cap Attach (0 = sessions are never evicted
 	// implicitly).
 	IdleTimeout time.Duration
+	// JournalWarnEntries is the per-session resume-journal length past which
+	// the server logs a one-time warning (journals grow without bound until
+	// the client detaches, and resume replay cost grows with them). 0 uses
+	// the default (10000); negative disables the warning.
+	JournalWarnEntries int
 }
+
+// defaultJournalWarn is the per-token journal length that triggers the
+// one-time growth warning when Config.JournalWarnEntries is 0.
+const defaultJournalWarn = 10000
 
 // Stats aggregates the server's work counters.
 type Stats struct {
@@ -56,6 +67,12 @@ type Stats struct {
 	Evicted   int64 // idle evictions
 	Journals  int   // resume journals retained (attached + resumable)
 	BaseWrite int64 // single-writer ingestion batches
+
+	// Resume-journal growth: total retained records and their approximate
+	// encoded bytes across every token. These grow monotonically per session
+	// until the client detaches (SessForget drops its journal).
+	JournalEntries int64
+	JournalBytes   int64
 
 	// Share describes the shared-state registry: Builds counts data-sized
 	// states instantiated (once per distinct fingerprint, not per session),
@@ -97,9 +114,22 @@ type Server struct {
 	jmu     sync.Mutex
 	journal map[string][]wal.SessionRecord
 	byToken map[string]*Session
-	log     *wal.Log    // nil: non-durable server
+	log     *wal.Log // nil: non-durable server
 	baseCP  func() *wal.CheckpointRecord
 	sealed  atomic.Bool // Shutdown ran: suppress journal appends
+
+	// Journal growth accounting (guarded by jmu like the journal itself):
+	// totals across tokens plus per-token bytes so SessForget can subtract,
+	// and the warned set backing the one-time growth warning.
+	jEntries int64
+	jBytes   int64
+	jBytesBy map[string]int64
+	jWarned  map[string]bool
+
+	// lg receives structured lifecycle and health logs (attach, detach,
+	// evict, resume, journal growth). Defaults to a discard logger so
+	// embedded/test servers stay silent; hosts install theirs via SetLogger.
+	lg *slog.Logger
 
 	// epoch counts sealed base-write batches. Sessions record the epoch at
 	// each of their commits; a session abort/undo that restores private
@@ -135,6 +165,9 @@ func newServer(cfg Config, split *core.ProgramSplit, base *core.Engine) *Server 
 		sessions: make(map[int]*Session),
 		journal:  make(map[string][]wal.SessionRecord),
 		byToken:  make(map[string]*Session),
+		jBytesBy: make(map[string]int64),
+		jWarned:  make(map[string]bool),
+		lg:       discardLogger(),
 	}
 	s.group = exec.NewShareGroup(func(name string) bool { return split.SharedNames[name] })
 	return s
@@ -142,6 +175,12 @@ func newServer(cfg Config, split *core.ProgramSplit, base *core.Engine) *Server 
 
 // Base exposes the shared engine (single-threaded setup and tests only).
 func (s *Server) Base() *core.Engine { return s.base }
+
+// discardLogger is the default logger: structured logging is opt-in via
+// SetLogger, so embedded and test servers stay silent.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 // sharedCatalog resolves shared relations for session engines. Live reads
 // are lock-free map lookups (the server's write lock excludes the only
@@ -186,6 +225,7 @@ func (s *Server) Attach() (*Session, error) {
 	s.byToken[sess.token] = sess
 	s.attached++
 	s.journalAppend(wal.SessionRecord{Token: sess.token, Op: wal.SessAttach})
+	s.lg.Info("session attached", "session", sess.id, "token", sess.token, "sessions", len(s.sessions))
 	return sess, nil
 }
 
@@ -232,11 +272,13 @@ func (s *Server) detach(sess *Session, evicted bool) {
 	delete(s.byToken, sess.token)
 	if evicted {
 		s.evicted++
+		s.lg.Info("session evicted", "session", sess.id, "token", sess.token, "sessions", len(s.sessions))
 	} else {
 		// Explicit detach is the client saying goodbye: drop the resume
 		// journal too (eviction keeps it — the client may come back).
 		s.detached++
 		s.journalAppend(wal.SessionRecord{Token: sess.token, Op: wal.SessForget})
+		s.lg.Info("session detached", "session", sess.id, "token", sess.token, "sessions", len(s.sessions))
 	}
 	sess.closed.Store(true)
 	sess.eng.Close()
@@ -266,6 +308,8 @@ func (s *Server) evictIdleLocked(olderThan time.Duration, limit int) int {
 		sess.closed.Store(true)
 		sess.eng.Close()
 		s.evicted++
+		s.lg.Info("session evicted", "session", id, "token", sess.token,
+			"idle", now.Sub(sess.lastUsed()).Round(time.Second).String(), "sessions", len(s.sessions))
 		n++
 	}
 	if n > 0 {
@@ -393,6 +437,8 @@ func (s *Server) Stats() Stats {
 	}
 	s.jmu.Lock()
 	st.Journals = len(s.journal)
+	st.JournalEntries = s.jEntries
+	st.JournalBytes = s.jBytes
 	s.jmu.Unlock()
 	st.SharedBytes = s.base.ApproxBytes() + s.group.ApproxBytes()
 	for _, sess := range s.sessions {

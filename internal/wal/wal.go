@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wal/faultfs"
 )
 
@@ -182,6 +183,12 @@ type Log struct {
 	// appender's goroutine; it must not call back into the log.
 	checkpoint func() *CheckpointRecord
 
+	// obsAppend/obsSync, when set via SetObs, record per-call append and
+	// fsync latencies. Nil (the default, and the DisableObs arm) records
+	// nothing and costs nothing — not even a clock read.
+	obsAppend *obs.Histogram
+	obsSync   *obs.Histogram
+
 	stopSync chan struct{}
 	syncDone chan struct{}
 }
@@ -211,6 +218,20 @@ func Open(opts Options) (*Log, *Recovery, error) {
 		go l.syncLoop()
 	}
 	return l, rec, nil
+}
+
+// SetObs points the log's append and fsync latency histograms at reg
+// ("dvms_wal_append_seconds", "dvms_wal_fsync_seconds"). A nil reg disables
+// recording.
+func (l *Log) SetObs(reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if reg == nil {
+		l.obsAppend, l.obsSync = nil, nil
+		return
+	}
+	l.obsAppend = reg.Hist("dvms_wal_append_seconds")
+	l.obsSync = reg.Hist("dvms_wal_fsync_seconds")
 }
 
 // SetCheckpointFunc installs the snapshot provider used at segment rotation.
@@ -332,13 +353,8 @@ func (l *Log) syncLoop() {
 			return
 		case <-t.C:
 			l.mu.Lock()
-			if l.err == nil && !l.closed && l.seg != nil && l.dirty {
-				if err := l.seg.Sync(); err != nil {
-					l.fail(err)
-				} else {
-					l.stats.Fsyncs++
-					l.dirty = false
-				}
+			if l.err == nil && !l.closed && l.seg != nil {
+				l.syncLocked() // error is sticky; nothing more to do here
 			}
 			l.mu.Unlock()
 		}
@@ -349,9 +365,16 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
+	var t0 time.Time
+	if l.obsSync != nil {
+		t0 = time.Now()
+	}
 	if err := l.seg.Sync(); err != nil {
 		l.fail(err)
 		return l.err
+	}
+	if l.obsSync != nil {
+		l.obsSync.Observe(time.Since(t0))
 	}
 	l.stats.Fsyncs++
 	l.dirty = false
@@ -360,6 +383,10 @@ func (l *Log) syncLocked() error {
 
 // appendLocked frames a payload and writes it in one call.
 func (l *Log) appendLocked(payload []byte) error {
+	var t0 time.Time
+	if l.obsAppend != nil {
+		t0 = time.Now()
+	}
 	frame := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
@@ -367,6 +394,9 @@ func (l *Log) appendLocked(payload []byte) error {
 	if _, err := l.seg.Write(frame); err != nil {
 		l.fail(err)
 		return l.err
+	}
+	if l.obsAppend != nil {
+		l.obsAppend.Observe(time.Since(t0))
 	}
 	l.segSize += int64(len(frame))
 	l.stats.BytesAppended += int64(len(frame))
